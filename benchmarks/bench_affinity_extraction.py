@@ -1,0 +1,20 @@
+"""Ablation A5 — affinity-extraction fidelity: static vs traced matrix.
+
+The paper maps at launch time from the application's composition alone.
+This bench runs LK23 once with runtime tracing and correlates the
+trace-derived communication matrix with the statically extracted one;
+a high correlation validates launch-time mapping.
+"""
+
+import pytest
+
+from repro.experiments.ablations import affinity_extraction_fidelity
+
+
+def test_affinity_extraction(benchmark):
+    out = benchmark.pedantic(
+        affinity_extraction_fidelity, kwargs=dict(iterations=3), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(out)
+    assert out["correlation"] > 0.9
+    assert out["trace_events"] > 0

@@ -1,0 +1,45 @@
+"""Ablation A8 — how much quality does TreeMatch leave on the table?
+
+Simulated annealing over the assignment directly (thousands of cost
+evaluations) approximates the attainable hop-bytes optimum on small
+instances; TreeMatch does one bottom-up pass.  This bench measures the
+gap on clustered and stencil affinities — the hierarchical heuristic
+must land within a modest factor of the annealed reference while being
+orders of magnitude cheaper.
+"""
+
+import pytest
+
+from repro.comm import patterns
+from repro.topology import presets
+from repro.treematch import cost as cost_mod
+from repro.treematch.algorithm import tree_match
+from repro.treematch.anneal import AnnealConfig, anneal_mapping
+
+TOPO = presets.paper_smp(8, 8)  # 64 PUs
+
+
+def _matrix(pattern: str):
+    if pattern == "clustered":
+        return patterns.clustered(8, 8, intra_volume=100.0, inter_volume=1.0, seed=0)
+    return patterns.stencil_2d(8, 8, edge_volume=100.0)
+
+
+@pytest.mark.parametrize("pattern", ["clustered", "stencil"])
+def test_anneal_bound(benchmark, pattern):
+    matrix = _matrix(pattern)
+
+    def both():
+        tm = tree_match(TOPO, matrix).mapping
+        sa = anneal_mapping(TOPO, matrix, AnnealConfig(moves=30_000), seed=0)
+        return (
+            cost_mod.hop_bytes(tm, matrix, TOPO),
+            cost_mod.hop_bytes(sa, matrix, TOPO),
+        )
+
+    hb_tm, hb_sa = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["treematch_hop_bytes"] = hb_tm
+    benchmark.extra_info["anneal_hop_bytes"] = hb_sa
+    benchmark.extra_info["gap"] = hb_tm / hb_sa if hb_sa else 1.0
+    # One hierarchical pass lands within 1.4x of the annealed reference.
+    assert hb_tm <= 1.4 * hb_sa

@@ -1,0 +1,50 @@
+"""Ablation A3 — the paper's three control-thread strategies.
+
+Runs LK23 in the three scenarios that trigger each branch of the
+control-thread extension (hyperthread reservation, spare cores,
+unmapped) and records the simulated time plus which branch fired.
+"""
+
+import pytest
+
+from repro.experiments.ablations import control_strategy_comparison
+
+
+def test_control_strategies(benchmark):
+    out = benchmark.pedantic(
+        control_strategy_comparison, kwargs=dict(iterations=3), rounds=1, iterations=1
+    )
+    for name, row in out.items():
+        benchmark.extra_info[f"{name}_time_s"] = row["time"]
+        benchmark.extra_info[f"{name}_strategy"] = row["strategy"]
+    # each scenario must exercise its intended branch
+    assert out["hyperthread"]["strategy"] == "hyperthread"
+    assert out["spare-cores"]["strategy"] == "spare-cores"
+    assert out["unmapped"]["strategy"] == "unmapped"
+
+
+def test_hyperthread_reservation_pays_off(benchmark):
+    """On a hyperthreaded machine, placing control threads on sibling
+    hyperthreads (treematch plan) beats leaving them unbound."""
+    from repro.kernels.lk23_orwl import Lk23Config, build_program
+    from repro.orwl.runtime import Runtime
+    from repro.placement.binder import bind_program
+    from repro.simulate.machine import Machine
+    from repro.topology import presets
+
+    def run(place_control):
+        topo = presets.hyperthreaded_smp(4, 8)
+        cfg = Lk23Config(n=4096, grid_rows=4, grid_cols=8, iterations=3)
+        prog = build_program(cfg)
+        plan = bind_program(prog, topo, policy="treematch", place_control=place_control)
+        machine = Machine(topo, seed=1)
+        rt = Runtime(prog, machine, mapping=plan.mapping,
+                     control_mapping=plan.control_mapping)
+        return rt.run().time
+
+    t_placed = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    t_unplaced = run(False)
+    benchmark.extra_info["placed_s"] = t_placed
+    benchmark.extra_info["unplaced_s"] = t_unplaced
+    # Placement must never be a large regression (and usually helps).
+    assert t_placed <= t_unplaced * 1.15

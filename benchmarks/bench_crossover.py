@@ -1,0 +1,49 @@
+"""Claim C4 — "as soon as we scale beyond one or two sockets, standard
+approaches that do not take into account the affinity and the topology
+fail [to] improve performance."
+
+Sweeps sockets 1 → 24 on the paper workload and checks where each
+implementation stops improving: OpenMP must stall (< 5 % gain per
+doubling) within the sweep — its master-node first-touch traffic
+saturates one memory controller — while ORWL-Bind keeps scaling to the
+full 192 cores.
+"""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+
+CORE_COUNTS = (8, 16, 32, 64, 96, 192)
+ITERATIONS = 3
+N = 16384
+
+
+def test_crossover(benchmark):
+    result = benchmark.pedantic(
+        run_fig1,
+        kwargs=dict(core_counts=CORE_COUNTS, iterations=ITERATIONS, n=N, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    stall = result.openmp_scaling_stalls_after()
+    benchmark.extra_info["openmp_stalls_after_cores"] = stall
+    benchmark.extra_info["table"] = result.table()
+
+    # OpenMP stalls inside the sweep; ORWL-Bind never does.
+    assert stall is not None, "OpenMP never stalled — crossover not reproduced"
+    assert stall < CORE_COUNTS[-1], f"OpenMP stalled only at the sweep end ({stall})"
+
+    bind = dict(result.series("orwl-bind"))
+    for c0, c1 in zip(CORE_COUNTS, CORE_COUNTS[1:]):
+        assert bind[c1] < bind[c0], f"ORWL-Bind stopped scaling at {c0} cores"
+
+    # At one socket the three implementations are within 10% of each
+    # other: topology-blindness costs nothing before NUMA kicks in.
+    t8 = {impl: result.time_of(impl, 8) for impl in ("orwl-bind", "orwl-nobind", "openmp")}
+    assert max(t8.values()) < 1.1 * min(t8.values())
+
+    # Beyond two sockets the gap is open and grows with scale.
+    gap32 = result.time_of("openmp", 32) / result.time_of("orwl-bind", 32)
+    gap192 = result.time_of("openmp", 192) / result.time_of("orwl-bind", 192)
+    assert gap32 > 1.2
+    assert gap192 > gap32

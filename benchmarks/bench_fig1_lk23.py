@@ -1,0 +1,60 @@
+"""Figure 1 — LK23 processing time: ORWL-Bind vs ORWL-NoBind vs OpenMP.
+
+Regenerates the paper's figure data: the three implementations swept
+over core counts on the 24-socket × 8-core SMP model.  Each benchmark
+row is one point; ``sim_time_s`` in extra_info is the figure's y-value.
+``test_fig1_claims`` asserts the paper's three scalar claims as bands:
+
+* C1 — ORWL-Bind is the fastest implementation at full scale (the
+  paper's ~11 s absolute value is testbed-specific and not asserted);
+* C2 — speedup vs OpenMP ≈ 5× (asserted within [3, 9]);
+* C3 — speedup vs ORWL-NoBind ≈ 2.8× (asserted within [1.7, 4.5]).
+"""
+
+import pytest
+
+from repro.experiments.fig1 import IMPLEMENTATIONS, run_fig1, run_point
+
+#: Swept core counts (whole sockets).  Paper: up to 192.
+CORE_COUNTS = (8, 32, 96, 192)
+ITERATIONS = 3
+N = 16384
+
+
+@pytest.mark.parametrize("n_cores", CORE_COUNTS)
+@pytest.mark.parametrize("impl", IMPLEMENTATIONS)
+def test_fig1_point(benchmark, impl, n_cores):
+    point = benchmark.pedantic(
+        run_point,
+        args=(impl, n_cores),
+        kwargs=dict(iterations=ITERATIONS, n=N, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["implementation"] = impl
+    benchmark.extra_info["n_cores"] = n_cores
+    benchmark.extra_info["sim_time_s"] = point.time
+    benchmark.extra_info["local_fraction"] = point.local_fraction
+    assert point.time > 0
+
+
+def test_fig1_claims(benchmark):
+    """The figure's headline numbers, asserted as bands (C1-C3)."""
+    result = benchmark.pedantic(
+        run_fig1,
+        kwargs=dict(core_counts=(8, 192), iterations=ITERATIONS, n=N, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    sp_omp = result.speedup_vs_openmp()
+    sp_nobind = result.speedup_vs_nobind()
+    benchmark.extra_info["speedup_vs_openmp"] = sp_omp
+    benchmark.extra_info["speedup_vs_nobind"] = sp_nobind
+    benchmark.extra_info["table"] = result.table()
+    # C1: bind is the best implementation at full scale.
+    t_bind = result.time_of("orwl-bind", 192)
+    assert t_bind < result.time_of("orwl-nobind", 192)
+    assert t_bind < result.time_of("openmp", 192)
+    # C2/C3: factors in the paper's neighbourhood.
+    assert 3.0 <= sp_omp <= 9.0, f"bind-vs-openmp speedup {sp_omp:.2f} outside band"
+    assert 1.7 <= sp_nobind <= 4.5, f"bind-vs-nobind speedup {sp_nobind:.2f} outside band"

@@ -1,0 +1,50 @@
+"""Ablation A7 — mapping granularity: task (paper mode) vs op.
+
+The paper maps compute threads (one per task) and handles the
+communication threads via the control extension; the alternative is to
+feed every operation thread through the oversubscribed mapping.  This
+bench measures both on the paper workload: task granularity must win
+(or tie) because it guarantees one compute-heavy main per core, whereas
+op granularity optimizes total clustered volume at the expense of
+compute balance.
+"""
+
+import pytest
+
+from repro.kernels.lk23_orwl import Lk23Config, build_program
+from repro.orwl.runtime import Runtime
+from repro.placement.binder import bind_program
+from repro.simulate.machine import Machine
+from repro.topology import presets
+
+
+def _run(granularity: str) -> float:
+    topo = presets.paper_smp(8, 8)  # 64 cores
+    cfg = Lk23Config(n=16384, grid_rows=8, grid_cols=8, iterations=3)
+    prog = build_program(cfg)
+    plan = bind_program(prog, topo, policy="treematch", granularity=granularity)
+    machine = Machine(topo, seed=0)
+    rt = Runtime(prog, machine, mapping=plan.mapping,
+                 control_mapping=plan.control_mapping)
+    return rt.run().time
+
+
+@pytest.mark.parametrize("granularity", ["task", "op"])
+def test_granularity_point(benchmark, granularity):
+    t = benchmark.pedantic(_run, args=(granularity,), rounds=1, iterations=1)
+    benchmark.extra_info["granularity"] = granularity
+    benchmark.extra_info["sim_time_s"] = t
+    assert t > 0
+
+
+def test_task_granularity_wins(benchmark):
+    def both():
+        return _run("task"), _run("op")
+
+    t_task, t_op = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["task_s"] = t_task
+    benchmark.extra_info["op_s"] = t_op
+    benchmark.extra_info["op_over_task"] = t_op / t_task
+    # Task granularity guarantees main-thread balance; op granularity
+    # may pack several mains per core and must not be better.
+    assert t_task <= t_op * 1.02

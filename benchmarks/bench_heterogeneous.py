@@ -1,0 +1,59 @@
+"""Extension experiment E3 — heterogeneity: a half-speed socket.
+
+The paper's machine is homogeneous; real deployments often are not.
+This bench slows one socket of an 8-socket machine to half rate and
+runs the bound LK23.  Expected physics: the stencil's round structure
+gates every block on its slowest neighbour chain, so the whole run
+degrades toward the slow socket's pace — static placement alone cannot
+absorb compute heterogeneity (the paper's future-work motivation for
+dynamic approaches).
+"""
+
+import pytest
+
+from repro.kernels.lk23_orwl import Lk23Config, build_program
+from repro.orwl.runtime import Runtime
+from repro.placement.binder import bind_program
+from repro.simulate.machine import Machine
+from repro.topology import presets
+
+SOCKETS = 8
+CORES = 8
+
+
+def _run(slow_factor: float) -> float:
+    topo = presets.paper_smp(SOCKETS, CORES)
+    rates = {}
+    if slow_factor != 1.0:
+        # Socket 0's PUs (os 0..7) run slower.
+        for os_idx in range(CORES):
+            rates[os_idx] = 2e9 * slow_factor
+    cfg = Lk23Config(n=16384, grid_rows=8, grid_cols=8, iterations=3)
+    prog = build_program(cfg)
+    plan = bind_program(prog, topo, policy="treematch")
+    machine = Machine(topo, seed=0, core_rate_of=rates or None)
+    rt = Runtime(prog, machine, mapping=plan.mapping,
+                 control_mapping=plan.control_mapping)
+    return rt.run().time
+
+
+@pytest.mark.parametrize("slow_factor", [1.0, 0.5])
+def test_heterogeneous_point(benchmark, slow_factor):
+    t = benchmark.pedantic(_run, args=(slow_factor,), rounds=1, iterations=1)
+    benchmark.extra_info["slow_factor"] = slow_factor
+    benchmark.extra_info["sim_time_s"] = t
+    assert t > 0
+
+
+def test_slow_socket_gates_the_run(benchmark):
+    def both():
+        return _run(1.0), _run(0.5)
+
+    t_homo, t_het = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["homogeneous_s"] = t_homo
+    benchmark.extra_info["half_speed_socket_s"] = t_het
+    slowdown = t_het / t_homo
+    benchmark.extra_info["slowdown"] = slowdown
+    # One of eight sockets at half speed drags the synchronized stencil
+    # far more than its 1/8 share of the compute (toward 2x, bounded by it).
+    assert 1.3 < slowdown <= 2.1, f"unexpected heterogeneity slowdown {slowdown:.2f}"

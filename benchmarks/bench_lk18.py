@@ -1,0 +1,47 @@
+"""Extension experiment E1 — a second Livermore workload (Kernel 18).
+
+The paper validates on LK23 only; this bench repeats the Bind/NoBind
+comparison with Livermore Kernel 18 (2-D explicit hydrodynamics: seven
+fields, three halo exchanges per time step) to show the placement win
+is not an artifact of LK23's particular compute/communication ratio.
+"""
+
+import pytest
+
+from repro.kernels import lk18
+from repro.kernels.lk23_orwl import build_program
+from repro.orwl.runtime import Runtime
+from repro.placement.binder import bind_program
+from repro.simulate.machine import Machine
+from repro.topology import presets
+
+
+def _run(policy: str) -> float:
+    topo = presets.paper_smp(12, 8)  # 96 cores
+    cfg = lk18.orwl_config(n=8192, grid_rows=8, grid_cols=12, iterations=2)
+    prog = build_program(cfg)
+    plan = bind_program(prog, topo, policy=policy)
+    machine = Machine(topo, seed=0)
+    rt = Runtime(prog, machine, mapping=plan.mapping,
+                 control_mapping=plan.control_mapping)
+    return rt.run().time
+
+
+@pytest.mark.parametrize("policy", ["treematch", "nobind"])
+def test_lk18_point(benchmark, policy):
+    t = benchmark.pedantic(_run, args=(policy,), rounds=1, iterations=1)
+    benchmark.extra_info["policy"] = policy
+    benchmark.extra_info["sim_time_s"] = t
+    assert t > 0
+
+
+def test_lk18_binding_wins(benchmark):
+    def both():
+        return _run("treematch"), _run("nobind")
+
+    t_bind, t_nobind = benchmark.pedantic(both, rounds=1, iterations=1)
+    speedup = t_nobind / t_bind
+    benchmark.extra_info["bind_s"] = t_bind
+    benchmark.extra_info["nobind_s"] = t_nobind
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup > 1.3, f"LK18 binding speedup only {speedup:.2f}x"

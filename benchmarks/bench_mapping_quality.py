@@ -1,0 +1,30 @@
+"""Ablation A1 — mapping quality: TreeMatch vs baseline placements.
+
+For each synthetic affinity pattern, scores every policy on hop-bytes
+and NUMA-cut.  TreeMatch must beat random on every pattern and beat or
+tie every baseline on the clustered pattern (where a provably good
+grouping exists).
+"""
+
+import pytest
+
+from repro.experiments.ablations import BASELINE_POLICIES, mapping_quality
+
+PATTERNS = ("stencil", "clustered", "random")
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_mapping_quality(benchmark, pattern):
+    scores = benchmark.pedantic(
+        mapping_quality, kwargs=dict(pattern=pattern, seed=0), rounds=1, iterations=1
+    )
+    for policy in BASELINE_POLICIES:
+        benchmark.extra_info[f"{policy}_hop_bytes"] = scores[policy]["hop_bytes"]
+        benchmark.extra_info[f"{policy}_numa_cut"] = scores[policy]["numa_cut"]
+
+    tm = scores["treematch"]
+    assert tm["hop_bytes"] < scores["random"]["hop_bytes"]
+    assert tm["numa_cut"] <= scores["random"]["numa_cut"]
+    if pattern == "clustered":
+        for policy in BASELINE_POLICIES:
+            assert tm["numa_cut"] <= scores[policy]["numa_cut"] * 1.001

@@ -1,0 +1,60 @@
+"""Extension experiment E4 — would ``numactl --interleave`` save OpenMP?
+
+A classic practitioner question about the paper's comparison: the
+OpenMP port's collapse comes from master-node first-touch — is
+topology-aware *thread* placement really needed, or would fixing the
+*page* placement (interleaving) suffice?
+
+Answer reproduced here: interleaving removes the single-controller
+hotspot and recovers much of OpenMP's scaling, but it converts all
+traffic to ~uniformly remote rather than local — so ORWL-Bind, which
+makes traffic actually local, still wins at full scale.  Thread and
+data placement are complements, not substitutes.
+"""
+
+import pytest
+
+from repro.experiments.fig1 import run_point
+from repro.kernels.openmp import OpenMpConfig, run_openmp_lk23
+from repro.simulate.machine import Machine
+from repro.topology import presets
+
+CORES = 192
+N = 16384
+ITERS = 3
+
+
+def _omp(memory_policy: str) -> float:
+    topo = presets.paper_smp(24, 8)
+    machine = Machine(topo, seed=0)
+    r = run_openmp_lk23(
+        machine,
+        OpenMpConfig(n=N, n_threads=CORES, iterations=ITERS,
+                     memory_policy=memory_policy),
+    )
+    return r.time
+
+
+@pytest.mark.parametrize("memory_policy", ["master", "interleave"])
+def test_openmp_memory_policy(benchmark, memory_policy):
+    t = benchmark.pedantic(_omp, args=(memory_policy,), rounds=1, iterations=1)
+    benchmark.extra_info["memory_policy"] = memory_policy
+    benchmark.extra_info["sim_time_s"] = t
+    assert t > 0
+
+
+def test_interleave_helps_but_bind_still_wins(benchmark):
+    def all_three():
+        t_master = _omp("master")
+        t_inter = _omp("interleave")
+        t_bind = run_point("orwl-bind", CORES, iterations=ITERS, n=N, seed=0).time
+        return t_master, t_inter, t_bind
+
+    t_master, t_inter, t_bind = benchmark.pedantic(all_three, rounds=1, iterations=1)
+    benchmark.extra_info["openmp_master_s"] = t_master
+    benchmark.extra_info["openmp_interleave_s"] = t_inter
+    benchmark.extra_info["orwl_bind_s"] = t_bind
+    # Interleaving fixes the hotspot...
+    assert t_inter < 0.8 * t_master
+    # ...but remote-everywhere still loses to actually-local.
+    assert t_bind < t_inter

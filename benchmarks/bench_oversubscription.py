@@ -1,0 +1,32 @@
+"""Ablation A4 — the oversubscription extension (tasks > cores).
+
+Scales the LK23 task count to 1x, 2x, 4x the core count on a 64-core
+machine.  The virtual-level extension must keep the compute load
+perfectly balanced (exactly ``factor`` main ops per PU) and the
+simulated time should grow roughly linearly with the factor (the work
+grows with the block count while the machine stays fixed).
+"""
+
+import pytest
+
+from repro.experiments.ablations import oversubscription_study
+
+
+def test_oversubscription(benchmark):
+    rows = benchmark.pedantic(
+        oversubscription_study, kwargs=dict(factors=(1, 2, 4), iterations=3),
+        rounds=1, iterations=1,
+    )
+    for row in rows:
+        f = int(row["factor"])
+        benchmark.extra_info[f"time_x{f}"] = row["time"]
+        benchmark.extra_info[f"max_mains_per_pu_x{f}"] = row["max_mains_per_pu"]
+        # perfect balance: the virtual level gives each PU exactly f mains
+        assert row["max_mains_per_pu"] == f
+
+    t1 = rows[0]["time"]
+    t4 = rows[2]["time"]
+    # 4x the tasks on the same matrix: total flops are constant but
+    # per-iteration sync grows; time must stay within a sane envelope
+    # (no pathological serialization from the virtual level).
+    assert t4 < 4.0 * t1

@@ -1,0 +1,27 @@
+"""Ablation A2 — Algorithm 1 launch-time cost vs matrix order.
+
+The paper runs the mapping "at launch time", so it must stay cheap
+relative to the application.  This bench measures tree_match wall time
+directly (here pytest-benchmark's own timing is the result) at growing
+communication-matrix orders, including the paper-scale order 192.
+"""
+
+import pytest
+
+from repro.comm import patterns
+from repro.topology import presets
+from repro.treematch.algorithm import tree_match
+
+ORDERS = (16, 64, 192, 512)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_treematch_cost(benchmark, order):
+    rows, cols = patterns.square_grid_shape(order)
+    matrix = patterns.stencil_2d(rows, cols, edge_volume=100.0)
+    topo = presets.paper_smp(max(order // 8, 1), min(order, 8))
+    result = benchmark(tree_match, topo, matrix)
+    benchmark.extra_info["order"] = order
+    assert result.mapping.n_threads == order
+    # Launch-time requirement: even the largest order maps in seconds.
+    assert benchmark.stats["mean"] < 30.0

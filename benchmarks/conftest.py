@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Every benchmark measures the wall time of running one *simulated*
+experiment and stores the quantity the paper actually reports — the
+simulated processing time — in ``benchmark.extra_info["sim_time_s"]``.
+Summary benches additionally assert the paper's qualitative claims so a
+regression in the reproduction shape fails the suite loudly.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks are ordered: figure first, ablations after.
+    items.sort(key=lambda it: it.fspath.basename)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (simulations are
+    deterministic; repeated rounds only waste the time budget)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

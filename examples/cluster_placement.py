@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Placement across a cluster: the network makes locality 10× pricier.
+
+Runs LK23 over a 4-node cluster model (one GROUP per machine, a
+microsecond-latency network at the tree root) and compares how much
+traffic each placement policy pushes over the NICs.  The block
+declaration order is shuffled — tasks rarely get created in data-
+geometry order in real applications — which is precisely when the
+affinity-aware mapping earns its keep.
+
+Run:  python examples/cluster_placement.py
+"""
+
+from repro.experiments.cluster import run_cluster_lk23, table
+
+
+def main() -> None:
+    print("LK23 on a 4-node x 2-socket x 8-core cluster "
+          "(64 tasks, shuffled declaration order)\n")
+    points = run_cluster_lk23(
+        nodes=4,
+        sockets_per_node=2,
+        cores_per_socket=8,
+        n=8192,
+        iterations=3,
+        policies=("treematch", "round-robin", "random"),
+        shuffle_declaration=True,
+    )
+    print(table(points))
+
+    tm = points["treematch"]
+    rr = points["round-robin"]
+    print(f"\nTreeMatch sends {rr.network_bytes / tm.network_bytes:.1f}x less "
+          "data over the network than declaration-order placement.")
+    print("\nSame workload, geometry-friendly (row-major) declaration order:")
+    friendly = run_cluster_lk23(
+        nodes=4, sockets_per_node=2, cores_per_socket=8, n=8192, iterations=3,
+        policies=("treematch", "round-robin"), shuffle_declaration=False,
+    )
+    print(table(friendly))
+    print("\n(The blind baseline is accidentally optimal here — and the "
+          "affinity-aware mapping ties it instead of losing.)")
+
+
+if __name__ == "__main__":
+    main()

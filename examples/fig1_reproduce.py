@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure 1 end to end.
+
+Sweeps core counts on the 24×8 SMP model and prints the processing-time
+table for the three implementations (ORWL-Bind, ORWL-NoBind, OpenMP),
+then the paper's scalar claims with our measured values.
+
+Run:  python examples/fig1_reproduce.py [--full]
+
+``--full`` uses the paper's 100 sweeps instead of 5 (slower; the curve
+shape is identical because per-sweep time is steady-state).
+"""
+
+import argparse
+
+from repro.experiments import run_fig1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full", action="store_true", help="use the paper's 100 iterations"
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        nargs="+",
+        default=[8, 16, 32, 64, 96, 192],
+        help="core counts to sweep (whole sockets of 8)",
+    )
+    args = parser.parse_args()
+    iterations = 100 if args.full else 5
+
+    print(f"Figure 1 sweep: LK23 16384x16384, {iterations} sweeps")
+    print("(times are simulated seconds on the modeled 24x8 SMP)\n")
+    result = run_fig1(core_counts=tuple(args.cores), iterations=iterations, n=16384)
+    print(result.table())
+    print()
+    print("Paper's claims vs this reproduction:")
+    print(f"  C2 speedup vs OpenMP     : paper ~5    measured {result.speedup_vs_openmp():.2f}")
+    print(f"  C3 speedup vs ORWL-NoBind: paper ~2.8  measured {result.speedup_vs_nobind():.2f}")
+    stall = result.openmp_scaling_stalls_after()
+    print(f"  C4 OpenMP stops scaling  : paper 'beyond 1-2 sockets'  measured after {stall} cores")
+
+
+if __name__ == "__main__":
+    main()

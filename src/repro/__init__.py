@@ -1,0 +1,38 @@
+"""repro — Topology-aware placement for the ORWL task-based model.
+
+A full Python reproduction of *"Optimizing Locality by Topology-aware
+Placement for a Task Based Programming Model"* (Gustedt, Jeannot,
+Mansouri — IEEE CLUSTER 2016): the ORWL runtime, an hwloc-like topology
+substrate, the TreeMatch-based mapping algorithm with the paper's
+oversubscription and control-thread extensions, a discrete-event NUMA
+machine simulator standing in for the 192-core SMP, and the Livermore
+Kernel 23 evaluation (Figure 1) with an OpenMP-like comparator.
+
+Quick start::
+
+    from repro import run_lk23
+    result = run_lk23(topology="small-numa", policy="treematch", iterations=3)
+    print(result.time, result.metrics.local_fraction)
+
+Subpackages: :mod:`repro.topology`, :mod:`repro.comm`,
+:mod:`repro.treematch`, :mod:`repro.placement`, :mod:`repro.simulate`,
+:mod:`repro.orwl`, :mod:`repro.kernels`, :mod:`repro.experiments`,
+:mod:`repro.core`.
+"""
+
+from repro.core.api import (
+    ExperimentConfig,
+    ExperimentResult,
+    compare_policies,
+    run_lk23,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "compare_policies",
+    "run_lk23",
+    "__version__",
+]

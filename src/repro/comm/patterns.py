@@ -1,0 +1,171 @@
+"""Synthetic communication patterns.
+
+These generate :class:`~repro.comm.matrix.CommMatrix` instances for the
+workload shapes the paper and its ablations use.  The central one is
+:func:`stencil_2d`: the LK23 decomposition exchanges block *edges* (heavy)
+and *corners* (light) with the 8 neighbours, which is exactly the affinity
+structure TreeMatch exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.comm.matrix import CommMatrix
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validate import ValidationError, check_positive
+
+
+def stencil_2d(
+    rows: int,
+    cols: int,
+    edge_volume: float = 1.0,
+    corner_volume: Optional[float] = None,
+    diagonal: bool = True,
+    periodic: bool = False,
+) -> CommMatrix:
+    """Block-grid stencil affinity: *rows* × *cols* blocks, row-major ids.
+
+    Horizontal/vertical neighbours exchange *edge_volume*; diagonal
+    neighbours exchange *corner_volume* (default ``edge_volume / 64``,
+    reflecting that a corner is a single element while an edge is a whole
+    block side).  With *periodic*, the grid wraps (torus).
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValidationError(f"grid must be positive, got {rows}x{cols}")
+    check_positive(edge_volume, "edge_volume")
+    if corner_volume is None:
+        corner_volume = edge_volume / 64.0
+    n = rows * cols
+    m = np.zeros((n, n))
+
+    def bid(r: int, c: int) -> Optional[int]:
+        if periodic:
+            return (r % rows) * cols + (c % cols)
+        if 0 <= r < rows and 0 <= c < cols:
+            return r * cols + c
+        return None
+
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            edge_neighbors = [(r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)]
+            for rr, cc in edge_neighbors:
+                j = bid(rr, cc)
+                if j is not None and j != i:
+                    m[i, j] = max(m[i, j], edge_volume)
+            if diagonal:
+                for rr, cc in [(r - 1, c - 1), (r - 1, c + 1), (r + 1, c - 1), (r + 1, c + 1)]:
+                    j = bid(rr, cc)
+                    if j is not None and j != i:
+                        m[i, j] = max(m[i, j], corner_volume)
+    labels = [f"b{r}.{c}" for r in range(rows) for c in range(cols)]
+    return CommMatrix(m, labels=labels)
+
+
+def ring(n: int, volume: float = 1.0) -> CommMatrix:
+    """A 1-D ring: each entity talks to its two cyclic neighbours."""
+    if n <= 0:
+        raise ValidationError(f"n must be > 0, got {n}")
+    check_positive(volume, "volume")
+    m = np.zeros((n, n))
+    if n > 1:
+        for i in range(n):
+            j = (i + 1) % n
+            if i != j:
+                m[i, j] = m[j, i] = volume
+    return CommMatrix(m)
+
+
+def all_to_all(n: int, volume: float = 1.0) -> CommMatrix:
+    """Uniform all-to-all traffic (placement-indifferent worst case)."""
+    if n <= 0:
+        raise ValidationError(f"n must be > 0, got {n}")
+    m = np.full((n, n), float(volume))
+    np.fill_diagonal(m, 0.0)
+    return CommMatrix(m)
+
+
+def random_sparse(
+    n: int,
+    density: float = 0.2,
+    max_volume: float = 100.0,
+    seed: SeedLike = None,
+) -> CommMatrix:
+    """Random symmetric sparse traffic with the given pair density."""
+    if n <= 0:
+        raise ValidationError(f"n must be > 0, got {n}")
+    if not 0.0 <= density <= 1.0:
+        raise ValidationError(f"density must be in [0, 1], got {density}")
+    rng = make_rng(seed)
+    upper = np.triu(rng.random((n, n)) < density, k=1)
+    vols = rng.uniform(1.0, max_volume, size=(n, n))
+    m = np.where(upper, vols, 0.0)
+    m = m + m.T
+    return CommMatrix(m)
+
+
+def clustered(
+    n_clusters: int,
+    cluster_size: int,
+    intra_volume: float = 100.0,
+    inter_volume: float = 1.0,
+    seed: SeedLike = None,
+    shuffle: bool = True,
+) -> CommMatrix:
+    """Block-diagonal-heavy traffic: dense clusters, light cross-traffic.
+
+    The canonical "there is a right answer" mapping input: a good
+    placement puts each cluster under one low tree level.  With *shuffle*
+    the entity numbering is permuted so the structure is not already laid
+    out contiguously (otherwise a compact mapping is accidentally optimal).
+    """
+    if n_clusters <= 0 or cluster_size <= 0:
+        raise ValidationError("n_clusters and cluster_size must be > 0")
+    n = n_clusters * cluster_size
+    m = np.full((n, n), float(inter_volume))
+    for k in range(n_clusters):
+        lo, hi = k * cluster_size, (k + 1) * cluster_size
+        m[lo:hi, lo:hi] = intra_volume
+    np.fill_diagonal(m, 0.0)
+    cm = CommMatrix(m)
+    if shuffle:
+        rng = make_rng(seed)
+        perm = rng.permutation(n)
+        cm = cm.permuted(perm.tolist())
+    return cm
+
+
+def butterfly(stages: int, volume: float = 1.0) -> CommMatrix:
+    """FFT-butterfly traffic over ``2**stages`` entities.
+
+    Entity *i* talks to ``i ^ (1 << s)`` at every stage *s* — a pattern
+    with no perfect tree embedding, stressing the grouping heuristic.
+    """
+    if stages <= 0:
+        raise ValidationError(f"stages must be > 0, got {stages}")
+    n = 1 << stages
+    m = np.zeros((n, n))
+    for s in range(stages):
+        for i in range(n):
+            j = i ^ (1 << s)
+            m[i, j] = m[j, i] = m[i, j] + volume
+    return CommMatrix(m)
+
+
+def square_grid_shape(n_blocks: int) -> tuple[int, int]:
+    """Most-square ``rows × cols`` factorization of *n_blocks*.
+
+    Used to lay out P stencil blocks for a P-task run: returns the factor
+    pair with the smallest aspect ratio, rows <= cols.
+    """
+    if n_blocks <= 0:
+        raise ValidationError(f"n_blocks must be > 0, got {n_blocks}")
+    best = (1, n_blocks)
+    for r in range(1, int(math.isqrt(n_blocks)) + 1):
+        if n_blocks % r == 0:
+            best = (r, n_blocks // r)
+    return best

@@ -1,0 +1,9 @@
+"""Top-level façade: one-call experiment running.
+
+Re-exports :func:`run_lk23` and :class:`ExperimentConfig` from
+:mod:`repro.core.api` — the API the examples and quickstart use.
+"""
+
+from repro.core.api import ExperimentConfig, ExperimentResult, run_lk23, compare_policies
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_lk23", "compare_policies"]

@@ -1,0 +1,32 @@
+"""Experiment harnesses reproducing the paper's evaluation.
+
+* :mod:`~repro.experiments.fig1` — the paper's Figure 1 (LK23 processing
+  time for ORWL-Bind / ORWL-NoBind / OpenMP across core counts) plus
+  the three scalar claims (11 s minimum, 5× vs OpenMP, 2.8× vs NoBind)
+  and the "fails beyond one or two sockets" crossover check.
+* :mod:`~repro.experiments.ablations` — the design-choice studies from
+  DESIGN.md (mapping quality vs baselines, algorithm cost, control
+  strategies, oversubscription, affinity-extraction fidelity).
+"""
+
+from repro.experiments.fig1 import (
+    IMPLEMENTATIONS,
+    Fig1Point,
+    Fig1Result,
+    run_fig1,
+    run_point,
+)
+from repro.experiments.plotting import ascii_plot, plot_fig1
+from repro.experiments import ablations, cluster
+
+__all__ = [
+    "ascii_plot",
+    "plot_fig1",
+    "IMPLEMENTATIONS",
+    "Fig1Point",
+    "Fig1Result",
+    "run_fig1",
+    "run_point",
+    "ablations",
+    "cluster",
+]

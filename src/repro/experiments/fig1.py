@@ -1,0 +1,239 @@
+"""Figure 1 reproduction: LK23 processing time, three implementations.
+
+The paper's only figure compares the processing time of three LK23
+implementations on the 24-socket × 8-core SMP as the run scales: ORWL
+with the topology-aware binding (ORWL-Bind), ORWL left to the OS
+scheduler (ORWL-NoBind), and the fork-join OpenMP port.  The text
+reports, at the best configuration: ~11 s for ORWL-Bind, a ≈5× speedup
+over OpenMP, and ≈2.8× over ORWL-NoBind.
+
+:func:`run_fig1` sweeps core counts (whole sockets at a time, like the
+paper's machine partitioning) and runs all three implementations per
+point on the simulated machine.  One task per core for ORWL (the
+paper's configuration: 192 blocks on 192 cores), one worker per core
+for OpenMP.
+
+The result object renders the figure's data as a text table and checks
+the three scalar claims as factor bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.comm.patterns import square_grid_shape
+from repro.kernels.lk23_orwl import Lk23Config, build_program
+from repro.kernels.openmp import OpenMpConfig, run_openmp_lk23
+from repro.orwl.runtime import Runtime
+from repro.placement.binder import bind_program
+from repro.simulate.machine import Machine
+from repro.topology.presets import paper_smp
+from repro.util.validate import ValidationError
+
+#: The implementations of the figure, in its legend order.
+IMPLEMENTATIONS = ("orwl-bind", "orwl-nobind", "openmp")
+
+
+@dataclass
+class Fig1Point:
+    """One (implementation, core count) measurement."""
+
+    implementation: str
+    n_cores: int
+    time: float
+    local_fraction: float
+    migrations: int
+    remote_bytes: float
+
+
+@dataclass
+class Fig1Result:
+    """All points of the sweep plus the paper-claim checks."""
+
+    points: list[Fig1Point] = field(default_factory=list)
+    iterations: int = 0
+    n: int = 0
+
+    def time_of(self, implementation: str, n_cores: int) -> float:
+        for p in self.points:
+            if p.implementation == implementation and p.n_cores == n_cores:
+                return p.time
+        raise KeyError(f"no point ({implementation}, {n_cores})")
+
+    def series(self, implementation: str) -> list[tuple[int, float]]:
+        """(cores, time) pairs of one curve, sorted by cores."""
+        pts = [
+            (p.n_cores, p.time)
+            for p in self.points
+            if p.implementation == implementation
+        ]
+        return sorted(pts)
+
+    def core_counts(self) -> list[int]:
+        return sorted({p.n_cores for p in self.points})
+
+    def best_time(self, implementation: str) -> tuple[int, float]:
+        """(cores, time) of the implementation's fastest point."""
+        series = self.series(implementation)
+        if not series:
+            raise KeyError(f"no points for {implementation}")
+        return min(series, key=lambda cv: cv[1])
+
+    # -- the paper's scalar claims ----------------------------------------
+
+    def speedup_vs_openmp(self) -> float:
+        """Best-point speedup of ORWL-Bind over OpenMP (paper: ≈5)."""
+        return self.best_time("openmp")[1] / self.best_time("orwl-bind")[1]
+
+    def speedup_vs_nobind(self) -> float:
+        """Best-point speedup of ORWL-Bind over ORWL-NoBind (paper: ≈2.8)."""
+        return self.best_time("orwl-nobind")[1] / self.best_time("orwl-bind")[1]
+
+    def speedup_curve(self, implementation: str) -> list[tuple[int, float]]:
+        """(cores, speedup-vs-smallest-point) for one implementation."""
+        series = self.series(implementation)
+        if not series:
+            return []
+        base_cores, base_time = series[0]
+        return [(c, base_time / t) for c, t in series]
+
+    def efficiency(self, implementation: str, n_cores: int) -> float:
+        """Strong-scaling efficiency at *n_cores*: speedup / ideal.
+
+        Ideal speedup from the smallest measured core count is
+        ``n_cores / smallest``; 1.0 = perfect scaling.
+        """
+        series = self.series(implementation)
+        if not series:
+            raise KeyError(f"no points for {implementation}")
+        base_cores, base_time = series[0]
+        t = self.time_of(implementation, n_cores)
+        return (base_time / t) / (n_cores / base_cores)
+
+    def openmp_scaling_stalls_after(self) -> Optional[int]:
+        """Core count beyond which adding cores stops helping OpenMP.
+
+        The paper's claim C4: "as soon as we scale beyond one or two
+        sockets, standard approaches ... fail [to] improve performance."
+        Returns the last core count at which OpenMP still improved by
+        more than 5 %, or ``None`` if it never stalls within the sweep.
+        """
+        series = self.series("openmp")
+        for (c0, t0), (_, t1) in zip(series, series[1:]):
+            if t1 > t0 * 0.95:
+                return c0
+        return None
+
+    def table(self, show_efficiency: bool = False) -> str:
+        """The figure's data as an aligned text table.
+
+        With *show_efficiency*, each cell also shows the strong-scaling
+        efficiency relative to the smallest core count.
+        """
+        cores = self.core_counts()
+        header = f"{'cores':>6} | " + " | ".join(f"{impl:>12}" for impl in IMPLEMENTATIONS)
+        lines = [header, "-" * len(header)]
+        for c in cores:
+            cells = []
+            for impl in IMPLEMENTATIONS:
+                try:
+                    cell = f"{self.time_of(impl, c):12.4f}"
+                    if show_efficiency:
+                        cell = f"{self.time_of(impl, c):8.4f}({self.efficiency(impl, c):4.0%})"
+                except KeyError:
+                    cell = f"{'-':>12}"
+                cells.append(cell)
+            lines.append(f"{c:>6} | " + " | ".join(cells))
+        # Summary lines need all three implementations to be present.
+        have = {p.implementation for p in self.points}
+        if set(IMPLEMENTATIONS) <= have:
+            lines.append("")
+            lines.append(
+                f"best ORWL-Bind: {self.best_time('orwl-bind')[1]:.4f}s "
+                f"at {self.best_time('orwl-bind')[0]} cores"
+            )
+            lines.append(
+                f"speedup vs OpenMP: {self.speedup_vs_openmp():.2f}x (paper ~5)"
+            )
+            lines.append(
+                f"speedup vs ORWL-NoBind: {self.speedup_vs_nobind():.2f}x (paper ~2.8)"
+            )
+            stall = self.openmp_scaling_stalls_after()
+            lines.append(
+                "OpenMP stops scaling after "
+                + (f"{stall} cores" if stall is not None else "the sweep (never stalled)")
+            )
+        return "\n".join(lines)
+
+
+def run_point(
+    implementation: str,
+    n_cores: int,
+    iterations: int = 5,
+    n: int = 16384,
+    cores_per_socket: int = 8,
+    seed: int = 0,
+) -> Fig1Point:
+    """Run one implementation at one core count; returns the point."""
+    if implementation not in IMPLEMENTATIONS:
+        raise ValidationError(
+            f"unknown implementation {implementation!r}; one of {IMPLEMENTATIONS}"
+        )
+    if n_cores % cores_per_socket != 0:
+        raise ValidationError(
+            f"core count {n_cores} must be whole sockets of {cores_per_socket}"
+        )
+    topo = paper_smp(n_cores // cores_per_socket, cores_per_socket)
+    machine = Machine(topo, seed=seed)
+
+    if implementation == "openmp":
+        result = run_openmp_lk23(
+            machine, OpenMpConfig(n=n, n_threads=n_cores, iterations=iterations)
+        )
+        metrics = result.metrics
+        time = result.time
+    else:
+        rows, cols = square_grid_shape(n_cores)
+        cfg = Lk23Config(n=n, grid_rows=rows, grid_cols=cols, iterations=iterations)
+        prog = build_program(cfg)
+        policy = "treematch" if implementation == "orwl-bind" else "nobind"
+        plan = bind_program(prog, topo, policy=policy)
+        runtime = Runtime(
+            prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
+        )
+        run = runtime.run()
+        metrics = run.metrics
+        time = run.time
+
+    return Fig1Point(
+        implementation=implementation,
+        n_cores=n_cores,
+        time=time,
+        local_fraction=metrics.local_fraction,
+        migrations=metrics.migrations,
+        remote_bytes=metrics.remote_bytes,
+    )
+
+
+def run_fig1(
+    core_counts: Sequence[int] = (8, 16, 32, 64, 96, 192),
+    iterations: int = 5,
+    n: int = 16384,
+    implementations: Sequence[str] = IMPLEMENTATIONS,
+    seed: int = 0,
+) -> Fig1Result:
+    """The full Figure-1 sweep.
+
+    *iterations* defaults to 5 rather than the paper's 100: the
+    simulated per-sweep time is steady after the first round, so the
+    curve shape is iteration-count-invariant while the harness stays
+    fast.  Scale it up to match the paper's absolute workload.
+    """
+    result = Fig1Result(iterations=iterations, n=n)
+    for c in core_counts:
+        for impl in implementations:
+            result.points.append(
+                run_point(impl, c, iterations=iterations, n=n, seed=seed)
+            )
+    return result

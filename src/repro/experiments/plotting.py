@@ -1,0 +1,87 @@
+"""Terminal plotting: ASCII line charts for experiment results.
+
+No plotting library is available offline, so figures are rendered as
+text — good enough to eyeball the crossovers the paper's Figure 1
+shows.  :func:`ascii_plot` is generic; :func:`plot_fig1` adapts a
+:class:`~repro.experiments.fig1.Fig1Result`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Marker per series, cycled.
+MARKERS = "ox+*#@"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    logy: bool = False,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Points are placed on a *width* × *height* grid scaled to the data
+    bounds; each series uses the next marker from :data:`MARKERS`.
+    """
+    import math
+
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return "(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    if logy:
+        if min(ys) <= 0:
+            raise ValueError("logy requires positive y values")
+        ys = [math.log10(y) for y in ys]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for k, (name, data) in enumerate(series.items()):
+        marker = MARKERS[k % len(MARKERS)]
+        for x, y in data:
+            yy = math.log10(y) if logy else y
+            col = int((x - x0) / xspan * (width - 1))
+            row = int((yy - y0) / yspan * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    top = 10 ** y1 if logy else y1
+    bot = 10 ** y0 if logy else y0
+    lines = [f"{top:10.4g} +" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{bot:10.4g} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x0:<10.4g}" + " " * max(width - 20, 0) + f"{x1:>10.4g}"
+    )
+    legend = "   ".join(
+        f"{MARKERS[k % len(MARKERS)]} = {name}" for k, name in enumerate(series)
+    )
+    footer = []
+    if xlabel or ylabel:
+        footer.append(f"x: {xlabel}   y: {ylabel}".strip())
+    footer.append(legend)
+    return "\n".join(lines + footer)
+
+
+def plot_fig1(result, width: int = 64, height: int = 18, logy: bool = True) -> str:
+    """ASCII rendering of a Figure-1 sweep (time vs cores, log y)."""
+    from repro.experiments.fig1 import IMPLEMENTATIONS
+
+    series = {impl: result.series(impl) for impl in IMPLEMENTATIONS}
+    series = {k: v for k, v in series.items() if v}
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        logy=logy,
+        xlabel="cores",
+        ylabel="processing time (simulated s)",
+    )

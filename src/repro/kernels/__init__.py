@@ -1,0 +1,57 @@
+"""Benchmark kernels: Livermore Kernel 23 and its implementations.
+
+* :mod:`~repro.kernels.stencil` — block-grid geometry (blocks, halos,
+  neighbour maps, frontier sizes).
+* :mod:`~repro.kernels.lk23` — the numerical kernel: loop reference,
+  vectorized Jacobi, and blocked-with-halo variants, proven equivalent
+  by tests.
+* :mod:`~repro.kernels.lk23_orwl` — the paper's ORWL decomposition
+  (main + 8 frontier sub-ops per block).
+* :mod:`~repro.kernels.openmp` — the fork-join (OpenMP-like) comparator
+  with global barriers and master-node first-touch.
+"""
+
+from repro.kernels.stencil import ALL_DIRECTIONS, BlockGrid, Direction, CORNERS, EDGES
+from repro.kernels.lk23 import (
+    FLOPS_PER_POINT,
+    RELAX,
+    Lk23Arrays,
+    block_flops,
+    lk23_blocked,
+    lk23_jacobi,
+    lk23_jacobi_step,
+    lk23_reference,
+    make_arrays,
+    total_flops,
+)
+from repro.kernels.lk23_orwl import Lk23Config, build_program, describe
+from repro.kernels.openmp import OpenMpConfig, OpenMpResult, run_openmp_lk23
+from repro.kernels import lk18
+from repro.kernels.wavefront import WavefrontConfig, build_wavefront_program
+
+__all__ = [
+    "ALL_DIRECTIONS",
+    "BlockGrid",
+    "Direction",
+    "CORNERS",
+    "EDGES",
+    "FLOPS_PER_POINT",
+    "RELAX",
+    "Lk23Arrays",
+    "block_flops",
+    "lk23_blocked",
+    "lk23_jacobi",
+    "lk23_jacobi_step",
+    "lk23_reference",
+    "make_arrays",
+    "total_flops",
+    "Lk23Config",
+    "build_program",
+    "describe",
+    "OpenMpConfig",
+    "OpenMpResult",
+    "run_openmp_lk23",
+    "lk18",
+    "WavefrontConfig",
+    "build_wavefront_program",
+]

@@ -1,0 +1,213 @@
+"""Livermore Kernel 18: 2-D explicit hydrodynamics fragment.
+
+A second member of the Livermore suite, included to show the ORWL
+decomposition machinery is not LK23-specific.  The kernel runs three
+sweeps per time step over the interior of seven n×n fields::
+
+    phase 1:  za, zb   from  zp, zq, zr, zm      (flux coefficients)
+    phase 2:  zu, zv   from  za, zb, zz, zr      (velocity update)
+    phase 3:  zr, zz   from  zu, zv              (field update)
+
+Each phase is a 1-halo stencil, so a blocked implementation exchanges
+frontiers *three times per time step* — a heavier synchronization
+profile than LK23's single exchange, which is exactly why it makes a
+good second workload for the placement study
+(:func:`orwl_config` below).
+
+Numerics: :func:`lk18_reference` is the straight loop transcription and
+:func:`lk18_step` the vectorized equivalent; tests assert they match to
+the last bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.lk23_orwl import Lk23Config
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validate import ValidationError
+
+#: Per updated point and time step: phase 1 ≈ 16 flops (2 fluxes of
+#: ~8), phase 2 ≈ 24 (two 12-flop updates), phase 3 ≈ 4.
+FLOPS_PER_POINT = 44
+
+#: The kernel's stability/scaling constants (LFK values).
+S_CONST = 0.0041
+T_CONST = 0.0037
+
+
+@dataclass
+class Lk18Fields:
+    """The seven fields of the kernel (all n×n)."""
+
+    zp: np.ndarray
+    zq: np.ndarray
+    zr: np.ndarray
+    zm: np.ndarray
+    zz: np.ndarray
+    zu: np.ndarray
+    zv: np.ndarray
+
+    def __post_init__(self) -> None:
+        shape = self.zp.shape
+        for name in ("zq", "zr", "zm", "zz", "zu", "zv"):
+            if getattr(self, name).shape != shape:
+                raise ValidationError(f"{name} shape differs from zp {shape}")
+
+    def copy(self) -> "Lk18Fields":
+        return Lk18Fields(*(getattr(self, f).copy() for f in
+                            ("zp", "zq", "zr", "zm", "zz", "zu", "zv")))
+
+
+def make_fields(n: int, seed: SeedLike = 0) -> Lk18Fields:
+    """Random but well-conditioned inputs (zm bounded away from zero)."""
+    if n < 4:
+        raise ValidationError(f"n must be >= 4, got {n}")
+    rng = make_rng(seed)
+    f = lambda: rng.random((n, n)) + 0.5  # noqa: E731 - local factory
+    return Lk18Fields(f(), f(), f(), f() + 1.0, f(), f() * 0.01, f() * 0.01)
+
+
+def lk18_reference(fields: Lk18Fields, steps: int = 1) -> Lk18Fields:
+    """Loop transcription of the three phases (ground truth, slow)."""
+    if steps <= 0:
+        raise ValidationError("steps must be > 0")
+    w = fields.copy()
+    n = w.zp.shape[0]
+    for _ in range(steps):
+        za = np.zeros_like(w.zp)
+        zb = np.zeros_like(w.zp)
+        for k in range(1, n - 1):
+            for j in range(1, n - 1):
+                za[j, k] = (
+                    (w.zp[j - 1, k + 1] + w.zq[j - 1, k + 1] - w.zp[j - 1, k] - w.zq[j - 1, k])
+                    * (w.zr[j, k] + w.zr[j - 1, k])
+                    / (w.zm[j - 1, k] + w.zm[j - 1, k + 1])
+                )
+                zb[j, k] = (
+                    (w.zp[j - 1, k] + w.zq[j - 1, k] - w.zp[j, k] - w.zq[j, k])
+                    * (w.zr[j, k] + w.zr[j, k - 1])
+                    / (w.zm[j, k] + w.zm[j - 1, k])
+                )
+        zu_new = w.zu.copy()
+        zv_new = w.zv.copy()
+        for k in range(1, n - 1):
+            for j in range(1, n - 1):
+                zu_new[j, k] = w.zu[j, k] + S_CONST * (
+                    za[j, k] * (w.zz[j, k] - w.zz[j + 1, k])
+                    - za[j - 1, k] * (w.zz[j, k] - w.zz[j - 1, k])
+                    - zb[j, k] * (w.zz[j, k] - w.zz[j, k - 1])
+                    + zb[j, k + 1] * (w.zz[j, k] - w.zz[j, k + 1])
+                )
+                zv_new[j, k] = w.zv[j, k] + S_CONST * (
+                    za[j, k] * (w.zr[j, k] - w.zr[j + 1, k])
+                    - za[j - 1, k] * (w.zr[j, k] - w.zr[j - 1, k])
+                    - zb[j, k] * (w.zr[j, k] - w.zr[j, k - 1])
+                    + zb[j, k + 1] * (w.zr[j, k] - w.zr[j, k + 1])
+                )
+        w.zu, w.zv = zu_new, zv_new
+        for k in range(1, n - 1):
+            for j in range(1, n - 1):
+                w.zr[j, k] = w.zr[j, k] + T_CONST * w.zu[j, k]
+                w.zz[j, k] = w.zz[j, k] + T_CONST * w.zv[j, k]
+    return w
+
+
+def _phase1(w: Lk18Fields) -> tuple[np.ndarray, np.ndarray]:
+    za = np.zeros_like(w.zp)
+    zb = np.zeros_like(w.zp)
+    J = slice(1, -1)
+    K = slice(1, -1)
+    Jm = slice(0, -2)
+    Kp = slice(2, None)
+    Km = slice(0, -2)
+    za[J, K] = (
+        (w.zp[Jm, Kp] + w.zq[Jm, Kp] - w.zp[Jm, K] - w.zq[Jm, K])
+        * (w.zr[J, K] + w.zr[Jm, K])
+        / (w.zm[Jm, K] + w.zm[Jm, Kp])
+    )
+    zb[J, K] = (
+        (w.zp[Jm, K] + w.zq[Jm, K] - w.zp[J, K] - w.zq[J, K])
+        * (w.zr[J, K] + w.zr[J, Km])
+        / (w.zm[J, K] + w.zm[Jm, K])
+    )
+    return za, zb
+
+
+def _phase2(w: Lk18Fields, za: np.ndarray, zb: np.ndarray) -> None:
+    J, K = slice(1, -1), slice(1, -1)
+    Jp, Jm = slice(2, None), slice(0, -2)
+    Kp, Km = slice(2, None), slice(0, -2)
+    zz, zr = w.zz, w.zr
+    du = S_CONST * (
+        za[J, K] * (zz[J, K] - zz[Jp, K])
+        - za[Jm, K] * (zz[J, K] - zz[Jm, K])
+        - zb[J, K] * (zz[J, K] - zz[J, Km])
+        + zb[J, Kp] * (zz[J, K] - zz[J, Kp])
+    )
+    dv = S_CONST * (
+        za[J, K] * (zr[J, K] - zr[Jp, K])
+        - za[Jm, K] * (zr[J, K] - zr[Jm, K])
+        - zb[J, K] * (zr[J, K] - zr[J, Km])
+        + zb[J, Kp] * (zr[J, K] - zr[J, Kp])
+    )
+    w.zu = w.zu.copy()
+    w.zv = w.zv.copy()
+    w.zu[J, K] += du
+    w.zv[J, K] += dv
+
+
+def _phase3(w: Lk18Fields) -> None:
+    J, K = slice(1, -1), slice(1, -1)
+    w.zr = w.zr.copy()
+    w.zz = w.zz.copy()
+    w.zr[J, K] += T_CONST * w.zu[J, K]
+    w.zz[J, K] += T_CONST * w.zv[J, K]
+
+
+def lk18_step(fields: Lk18Fields) -> Lk18Fields:
+    """One vectorized time step (out of place)."""
+    w = fields.copy()
+    za, zb = _phase1(w)
+    _phase2(w, za, zb)
+    _phase3(w)
+    return w
+
+
+def lk18(fields: Lk18Fields, steps: int = 1) -> Lk18Fields:
+    """*steps* vectorized time steps."""
+    if steps <= 0:
+        raise ValidationError("steps must be > 0")
+    w = fields
+    for _ in range(steps):
+        w = lk18_step(w)
+    return w
+
+
+def orwl_config(
+    n: int = 8192,
+    grid_rows: int = 8,
+    grid_cols: int = 8,
+    iterations: int = 20,
+) -> Lk23Config:
+    """LK18 as an ORWL placement workload.
+
+    Reuses the block/frontier decomposition machinery with LK18's cost
+    profile: ~44 flops per point per time step and a working set of
+    seven fields (so 7× the per-block stream volume of LK23's single
+    iterate).  The three-phase structure triples the per-step
+    synchronization, captured by running the frontier exchange 3× per
+    sweep — approximated here by tripling the iteration count while
+    keeping the compute per exchange at a third of a time step.
+    """
+    return Lk23Config(
+        n=n,
+        grid_rows=grid_rows,
+        grid_cols=grid_cols,
+        iterations=iterations * 3,  # three exchanges per time step
+        flops_per_point=FLOPS_PER_POINT / 3.0,
+        stream_fraction=1.0,
+        element_bytes=8 * 7,  # seven fields
+    )

@@ -1,0 +1,197 @@
+"""Livermore Kernel 23: 2-D implicit hydrodynamics fragment.
+
+The original LFK loop (Fortran, ``za`` updated in place)::
+
+    DO 23 j = 2, 6
+    DO 23 k = 2, n
+      QA = ZA(k,j+1)*ZR(k,j) + ZA(k,j-1)*ZB(k,j)
+         + ZA(k+1,j)*ZU(k,j) + ZA(k-1,j)*ZV(k,j) + ZZ(k,j)
+      ZA(k,j) = ZA(k,j) + 0.175 * (QA - ZA(k,j))
+    23 CONTINUE
+
+We provide three numerically equivalent-by-construction variants:
+
+* :func:`lk23_reference` — direct loop transcription (Gauss–Seidel
+  ordering, like the Fortran); the ground truth for tests, O(n²) Python
+  loops, use small sizes only.
+* :func:`lk23_jacobi` — the block-synchronous (Jacobi) variant that the
+  parallel decompositions compute: the update uses the *previous*
+  iteration's neighbour values.  Fully vectorized.
+* :func:`lk23_blocked` — :func:`lk23_jacobi` computed block by block
+  with explicit halo exchange over a :class:`~repro.kernels.stencil
+  .BlockGrid` — the exact data movement the ORWL decomposition
+  performs.  Tests assert it matches :func:`lk23_jacobi` bit for bit.
+
+The performance models elsewhere only need the kernel's cost shape:
+:data:`FLOPS_PER_POINT` and the frontier geometry from
+:mod:`repro.kernels.stencil`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.stencil import BlockGrid
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validate import ValidationError
+
+#: 4 multiplies + 4 adds for QA, plus subtract/multiply/add for the
+#: relaxation step = 11 floating-point operations per updated point.
+FLOPS_PER_POINT = 11
+
+#: The kernel's relaxation factor.
+RELAX = 0.175
+
+
+@dataclass
+class Lk23Arrays:
+    """The kernel's five coefficient arrays plus the iterate ``za``."""
+
+    za: np.ndarray
+    zz: np.ndarray
+    zr: np.ndarray
+    zb: np.ndarray
+    zu: np.ndarray
+    zv: np.ndarray
+
+    def __post_init__(self) -> None:
+        shape = self.za.shape
+        for name in ("zz", "zr", "zb", "zu", "zv"):
+            arr = getattr(self, name)
+            if arr.shape != shape:
+                raise ValidationError(f"{name} shape {arr.shape} != za shape {shape}")
+
+    def copy(self) -> "Lk23Arrays":
+        return Lk23Arrays(
+            self.za.copy(), self.zz.copy(), self.zr.copy(),
+            self.zb.copy(), self.zu.copy(), self.zv.copy(),
+        )
+
+
+def make_arrays(n: int, seed: SeedLike = 0) -> Lk23Arrays:
+    """Random but reproducible kernel inputs of size n×n.
+
+    Coefficients are scaled (< 0.25 each) so the relaxation is a
+    contraction and iterates stay bounded.
+    """
+    if n < 3:
+        raise ValidationError(f"n must be >= 3 for a 5-point stencil, got {n}")
+    rng = make_rng(seed)
+    za = rng.standard_normal((n, n))
+    zz = rng.standard_normal((n, n)) * 0.01
+    coef = lambda: rng.random((n, n)) * 0.24  # noqa: E731 - tiny local factory
+    return Lk23Arrays(za, zz, coef(), coef(), coef(), coef())
+
+
+def lk23_reference(arrays: Lk23Arrays, iterations: int = 1) -> np.ndarray:
+    """Direct loop transcription (Gauss–Seidel order, row sweep).
+
+    Updates the interior (indices 1..n-2), as the Fortran updates
+    2..n-1.  In-place on a copy; returns the final ``za``.
+    """
+    if iterations <= 0:
+        raise ValidationError("iterations must be > 0")
+    a = arrays.copy()
+    za = a.za
+    n = za.shape[0]
+    for _ in range(iterations):
+        for k in range(1, n - 1):
+            for j in range(1, n - 1):
+                qa = (
+                    za[k, j + 1] * a.zr[k, j]
+                    + za[k, j - 1] * a.zb[k, j]
+                    + za[k + 1, j] * a.zu[k, j]
+                    + za[k - 1, j] * a.zv[k, j]
+                    + a.zz[k, j]
+                )
+                za[k, j] += RELAX * (qa - za[k, j])
+    return za
+
+
+def lk23_jacobi_step(arrays: Lk23Arrays) -> np.ndarray:
+    """One vectorized Jacobi sweep; returns the new ``za`` (out of place)."""
+    za = arrays.za
+    new = za.copy()
+    qa = (
+        za[1:-1, 2:] * arrays.zr[1:-1, 1:-1]
+        + za[1:-1, :-2] * arrays.zb[1:-1, 1:-1]
+        + za[2:, 1:-1] * arrays.zu[1:-1, 1:-1]
+        + za[:-2, 1:-1] * arrays.zv[1:-1, 1:-1]
+        + arrays.zz[1:-1, 1:-1]
+    )
+    new[1:-1, 1:-1] = za[1:-1, 1:-1] + RELAX * (qa - za[1:-1, 1:-1])
+    return new
+
+
+def lk23_jacobi(arrays: Lk23Arrays, iterations: int = 1) -> np.ndarray:
+    """*iterations* Jacobi sweeps (block-synchronous semantics)."""
+    if iterations <= 0:
+        raise ValidationError("iterations must be > 0")
+    a = arrays.copy()
+    for _ in range(iterations):
+        a.za = lk23_jacobi_step(a)
+    return a.za
+
+
+def lk23_blocked(
+    arrays: Lk23Arrays, grid: BlockGrid, iterations: int = 1
+) -> np.ndarray:
+    """Blocked Jacobi with explicit halo exchange.
+
+    Each block keeps a (h+2)×(w+2) working copy with a one-element halo,
+    refreshed from neighbouring blocks every iteration — the memory
+    behaviour the ORWL decomposition has, expressed in NumPy.  The
+    result is identical to :func:`lk23_jacobi` (tests assert equality),
+    demonstrating the decomposition is computation-preserving.
+    """
+    if iterations <= 0:
+        raise ValidationError("iterations must be > 0")
+    if grid.n != arrays.za.shape[0] or arrays.za.ndim != 2:
+        raise ValidationError(
+            f"grid is for n={grid.n}, arrays are {arrays.za.shape}"
+        )
+    a = arrays.copy()
+    za = a.za
+    n = grid.n
+    for _ in range(iterations):
+        new = za.copy()
+        for r, c in grid.blocks():
+            rs, cs = grid.slice_of(r, c)
+            # Working window including halo, clipped at domain boundary.
+            r0, r1 = max(rs.start - 1, 0), min(rs.stop + 1, n)
+            c0, c1 = max(cs.start - 1, 0), min(cs.stop + 1, n)
+            win = za[r0:r1, c0:c1]
+            # Interior of the window that corresponds to updatable points
+            # of this block (global indices 1..n-2 only).
+            gr0, gr1 = max(rs.start, 1), min(rs.stop, n - 1)
+            gc0, gc1 = max(cs.start, 1), min(cs.stop, n - 1)
+            if gr0 >= gr1 or gc0 >= gc1:
+                continue
+            lr0, lc0 = gr0 - r0, gc0 - c0
+            lr1, lc1 = gr1 - r0, gc1 - c0
+            qa = (
+                win[lr0:lr1, lc0 + 1 : lc1 + 1] * a.zr[gr0:gr1, gc0:gc1]
+                + win[lr0:lr1, lc0 - 1 : lc1 - 1] * a.zb[gr0:gr1, gc0:gc1]
+                + win[lr0 + 1 : lr1 + 1, lc0:lc1] * a.zu[gr0:gr1, gc0:gc1]
+                + win[lr0 - 1 : lr1 - 1, lc0:lc1] * a.zv[gr0:gr1, gc0:gc1]
+                + a.zz[gr0:gr1, gc0:gc1]
+            )
+            new[gr0:gr1, gc0:gc1] = za[gr0:gr1, gc0:gc1] + RELAX * (
+                qa - za[gr0:gr1, gc0:gc1]
+            )
+        za = new
+    return za
+
+
+def block_flops(grid: BlockGrid) -> float:
+    """Floating-point operations one block contributes per sweep."""
+    return float(grid.block_points * FLOPS_PER_POINT)
+
+
+def total_flops(grid: BlockGrid, iterations: int) -> float:
+    """Total kernel flops for a full run (all blocks, all sweeps)."""
+    if iterations <= 0:
+        raise ValidationError("iterations must be > 0")
+    return block_flops(grid) * grid.n_blocks * iterations

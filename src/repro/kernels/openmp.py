@@ -1,0 +1,169 @@
+"""OpenMP-like fork-join comparator ("of equivalent abstraction").
+
+The paper compares ORWL against a straightforward OpenMP port of LK23:
+a ``parallel for`` over row strips with an implicit global barrier per
+sweep and no topology awareness.  This module models exactly that on
+the simulated machine:
+
+* the matrix is initialized by the master thread, so **first-touch**
+  places every page on the master's NUMA node — each sweep, every
+  worker streams its whole strip from that one node (the classic
+  scaling pathology on big NUMA boxes);
+* workers are **unbound** (a topology-unaware runtime), so the
+  OS-scheduler model migrates them like any other unbound thread;
+* each sweep ends in a **global tree barrier** whose completion waits
+  for the slowest worker and costs ``log2(P)`` hops of machine-level
+  latency — fork-join cannot overlap a fast worker's next sweep with a
+  straggler, unlike ORWL's point-to-point FIFO synchronization.
+
+An optional ``bound=True`` mode binds workers compactly and first-touches
+in parallel (what ``OMP_PROC_BIND`` + a first-touch init loop would buy),
+used by ablation benches to separate the barrier cost from the memory
+placement cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.kernels.lk23 import FLOPS_PER_POINT
+from repro.simulate.engine import SimEvent
+from repro.simulate.machine import Machine
+from repro.simulate.metrics import MachineMetrics
+from repro.simulate.syscalls import Compute, ReceiveFromNode, Wait
+from repro.util.validate import ValidationError
+
+
+@dataclass(frozen=True)
+class OpenMpConfig:
+    """The fork-join LK23 run parameters."""
+
+    n: int = 16384
+    n_threads: int = 8
+    iterations: int = 100
+    element_bytes: int = 8
+    flops_per_point: float = FLOPS_PER_POINT
+    stream_fraction: float = 1.0
+    #: per-hop latency of the tree barrier (machine-level message).
+    barrier_hop_latency: float = 400e-9
+    #: bind workers compactly + parallel first-touch (ablation mode).
+    bound: bool = False
+    #: where the matrix pages live: "master" (first-touch by the master
+    #: thread — the naive default the paper's comparator has),
+    #: "interleave" (numactl --interleave: pages round-robin across all
+    #: nodes), or "local" (parallel first-touch; implied by bound=True).
+    memory_policy: str = "master"
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise ValidationError("n_threads must be > 0")
+        if self.iterations <= 0:
+            raise ValidationError("iterations must be > 0")
+        if self.n_threads > self.n:
+            raise ValidationError(
+                f"{self.n_threads} strips is finer than {self.n} rows"
+            )
+        if not 0.0 <= self.stream_fraction <= 1.0:
+            raise ValidationError("stream_fraction must be in [0, 1]")
+        if self.memory_policy not in ("master", "interleave", "local"):
+            raise ValidationError(
+                f"memory_policy must be 'master', 'interleave' or 'local', "
+                f"got {self.memory_policy!r}"
+            )
+
+
+@dataclass
+class OpenMpResult:
+    """Outcome of a fork-join run."""
+
+    time: float
+    metrics: MachineMetrics
+    n_threads: int
+
+
+class _Barrier:
+    """A reusable counting barrier on the simulation engine.
+
+    The last arriver fires the generation's event after the tree-barrier
+    propagation delay; everyone else parks on it.
+    """
+
+    def __init__(self, machine: Machine, parties: int, hop_latency: float) -> None:
+        self._machine = machine
+        self._parties = parties
+        self._count = 0
+        self._release_delay = (
+            math.ceil(math.log2(parties)) * hop_latency if parties > 1 else 0.0
+        )
+        self._event = machine.new_event("barrier")
+
+    def arrive(self) -> SimEvent:
+        """Register arrival; returns the generation event to wait on.
+
+        The last arriver fires it with the tree-propagation delay; the
+        event's release-time semantics make the releaser pay the same
+        delay when it waits on the (already fired) event.
+        """
+        self._count += 1
+        ev = self._event
+        if self._count == self._parties:
+            self._count = 0
+            self._event = self._machine.new_event("barrier")
+            ev.fire(delay=self._release_delay)
+        return ev
+
+
+def run_openmp_lk23(
+    machine: Machine,
+    cfg: OpenMpConfig,
+) -> OpenMpResult:
+    """Execute the fork-join LK23 on *machine*; returns simulated time.
+
+    One strip of ``n / n_threads`` rows per worker (static schedule).
+    """
+    p = cfg.n_threads
+    if p > machine.topo.nb_pus and cfg.bound:
+        raise ValidationError(
+            f"{p} bound workers on a {machine.topo.nb_pus}-PU machine"
+        )
+    strip_points = (cfg.n / p) * cfg.n  # average strip (static schedule)
+    strip_bytes = strip_points * cfg.element_bytes * cfg.stream_fraction
+    strip_flops = strip_points * cfg.flops_per_point
+    barrier = _Barrier(machine, p, cfg.barrier_hop_latency)
+
+    pus = machine.topo.pus()
+    tids = []
+    for w in range(p):
+        bound_pu = pus[w % len(pus)].os_index if cfg.bound else None
+        tids.append(machine.add_thread(f"omp{w}", bound_pu_os=bound_pu))
+
+    from repro.topology.objects import ObjType
+
+    n_nodes = max(machine.topo.nbobjs_by_type(ObjType.NUMANODE), 1)
+    policy = "local" if cfg.bound else cfg.memory_policy
+
+    def worker_body(w: int):
+        def body():
+            if policy == "local":
+                homes = [machine.node_of_thread(tids[w])]
+            elif policy == "interleave":
+                homes = list(range(n_nodes))  # pages round-robin
+            else:  # master first-touch
+                homes = [machine.node_of_thread(tids[0])]
+            share = strip_bytes / len(homes)
+            for _ in range(cfg.iterations):
+                if strip_bytes > 0:
+                    for home in homes:
+                        if home >= 0:
+                            yield ReceiveFromNode(home, share)
+                yield Compute(machine.seconds_for_flops(strip_flops))
+                yield Wait(barrier.arrive())
+        return body()
+
+    for w, tid in enumerate(tids):
+        machine.set_body(tid, worker_body(w))
+
+    total = machine.run()
+    return OpenMpResult(time=total, metrics=machine.metrics, n_threads=p)

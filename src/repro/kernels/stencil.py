@@ -1,0 +1,164 @@
+"""Block-stencil decomposition geometry.
+
+Shared by the numerical LK23 implementations, the ORWL program builder,
+and the affinity generators: how an N×N matrix is cut into a grid of
+blocks, which blocks neighbour which, and how many bytes each frontier
+(edge or corner) carries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.util.validate import ValidationError
+
+
+class Direction(enum.Enum):
+    """The eight stencil directions, (row_delta, col_delta)."""
+
+    N = (-1, 0)
+    S = (1, 0)
+    W = (0, -1)
+    E = (0, 1)
+    NW = (-1, -1)
+    NE = (-1, 1)
+    SW = (1, -1)
+    SE = (1, 1)
+
+    @property
+    def is_corner(self) -> bool:
+        dr, dc = self.value
+        return dr != 0 and dc != 0
+
+    @property
+    def opposite(self) -> "Direction":
+        dr, dc = self.value
+        return _BY_DELTA[(-dr, -dc)]
+
+
+_BY_DELTA = {d.value: d for d in Direction}
+
+#: Edge directions (full block side), then corners (single element).
+EDGES = (Direction.N, Direction.S, Direction.W, Direction.E)
+CORNERS = (Direction.NW, Direction.NE, Direction.SW, Direction.SE)
+ALL_DIRECTIONS = EDGES + CORNERS
+
+
+@dataclass(frozen=True)
+class BlockGrid:
+    """An N×N element matrix decomposed into rows × cols blocks.
+
+    Blocks are identified by ``(r, c)`` grid coordinates or by the
+    row-major ``block_id``.  ``n`` need not divide evenly: blocks take
+    near-equal sizes (differing by at most one row/column), the standard
+    decomposition — the paper's own 16384² matrix on a 12×16 grid has
+    uneven block heights.  Exact per-block extents come from
+    :meth:`slice_of`; the ``block_*`` properties are grid averages, used
+    by the cost models where a ±1-row difference is immaterial.
+    """
+
+    n: int
+    rows: int
+    cols: int
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.rows <= 0 or self.cols <= 0:
+            raise ValidationError("n, rows, cols must all be > 0")
+        if self.element_bytes <= 0:
+            raise ValidationError("element_bytes must be > 0")
+        if self.rows > self.n or self.cols > self.n:
+            raise ValidationError(
+                f"grid {self.rows}x{self.cols} finer than the {self.n}x{self.n} matrix"
+            )
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def n_blocks(self) -> int:
+        return self.rows * self.cols
+
+    def row_bound(self, r: int) -> int:
+        """First matrix row of block-row *r* (``row_bound(rows) == n``)."""
+        return (r * self.n) // self.rows
+
+    def col_bound(self, c: int) -> int:
+        """First matrix column of block-column *c*."""
+        return (c * self.n) // self.cols
+
+    @property
+    def block_height(self) -> float:
+        """Average block height in rows."""
+        return self.n / self.rows
+
+    @property
+    def block_width(self) -> float:
+        """Average block width in columns."""
+        return self.n / self.cols
+
+    @property
+    def block_points(self) -> float:
+        """Average elements per block."""
+        return self.block_height * self.block_width
+
+    @property
+    def block_bytes(self) -> float:
+        """Average memory footprint of one block's data."""
+        return self.block_points * self.element_bytes
+
+    def exact_block_shape(self, r: int, c: int) -> tuple[int, int]:
+        """Exact (height, width) of block (r, c)."""
+        rs, cs = self.slice_of(r, c)
+        return (rs.stop - rs.start, cs.stop - cs.start)
+
+    def frontier_bytes(self, direction: Direction) -> float:
+        """Payload of a frontier export in *direction* (grid average)."""
+        if direction.is_corner:
+            return float(self.element_bytes)
+        if direction in (Direction.N, Direction.S):
+            return self.block_width * self.element_bytes
+        return self.block_height * self.element_bytes
+
+    # -- identification ---------------------------------------------------------
+
+    def block_id(self, r: int, c: int) -> int:
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise ValidationError(f"block ({r}, {c}) outside {self.rows}x{self.cols} grid")
+        return r * self.cols + c
+
+    def coords(self, block_id: int) -> tuple[int, int]:
+        if not 0 <= block_id < self.n_blocks:
+            raise ValidationError(f"block id {block_id} out of range")
+        return divmod(block_id, self.cols)
+
+    def blocks(self) -> Iterator[tuple[int, int]]:
+        """All block coordinates in row-major order."""
+        for r in range(self.rows):
+            for c in range(self.cols):
+                yield (r, c)
+
+    # -- neighbourhood -------------------------------------------------------------
+
+    def neighbor(self, r: int, c: int, direction: Direction) -> Optional[tuple[int, int]]:
+        """Coordinates of the neighbour in *direction*, or ``None`` at
+        the domain boundary (the decomposition is not periodic)."""
+        dr, dc = direction.value
+        rr, cc = r + dr, c + dc
+        if 0 <= rr < self.rows and 0 <= cc < self.cols:
+            return (rr, cc)
+        return None
+
+    def neighbor_directions(self, r: int, c: int) -> list[Direction]:
+        """Directions in which block (r, c) actually has a neighbour."""
+        return [d for d in ALL_DIRECTIONS if self.neighbor(r, c, d) is not None]
+
+    def slice_of(self, r: int, c: int) -> tuple[slice, slice]:
+        """NumPy index slices of block (r, c) within the N×N array."""
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise ValidationError(f"block ({r}, {c}) outside {self.rows}x{self.cols} grid")
+        return (
+            slice(self.row_bound(r), self.row_bound(r + 1)),
+            slice(self.col_bound(c), self.col_bound(c + 1)),
+        )

@@ -1,0 +1,41 @@
+"""The ORWL (Ordered Read-Write Locks) task-based programming model.
+
+Full Python implementation of the model the paper enriches:
+
+* :mod:`~repro.orwl.fifo` — per-location request FIFOs with ordered
+  read-write-lock semantics (readers share, writers exclusive, strict
+  insertion order).
+* :mod:`~repro.orwl.location` — shared resources (``orwl_location``).
+* :mod:`~repro.orwl.handle` — access paths (``orwl_handle``) with the
+  iterative ``orwl_next`` re-insertion protocol.
+* :mod:`~repro.orwl.program` — static composition: tasks, operations,
+  handle declarations (``orwl_task``).
+* :mod:`~repro.orwl.runtime` — the decentralized event-based runtime,
+  executing programs on the simulated machine with per-task control
+  threads.
+"""
+
+from repro.orwl.fifo import AccessMode, FifoError, OrwlFifo, Request, RequestState
+from repro.orwl.handle import Handle
+from repro.orwl.location import Location
+from repro.orwl.program import Operation, Program, TaskDecl
+from repro.orwl.runtime import OpContext, RunResult, Runtime, RuntimeConfig
+from repro.orwl import idioms
+
+__all__ = [
+    "AccessMode",
+    "FifoError",
+    "OrwlFifo",
+    "Request",
+    "RequestState",
+    "Handle",
+    "Location",
+    "Operation",
+    "Program",
+    "TaskDecl",
+    "OpContext",
+    "RunResult",
+    "Runtime",
+    "RuntimeConfig",
+    "idioms",
+]

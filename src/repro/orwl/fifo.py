@@ -1,0 +1,181 @@
+"""Ordered read-write lock FIFOs (the heart of the ORWL model).
+
+From the paper's background section: "Tasks executed by one or several
+threads concurrently access a resource/location by using a FIFO that
+holds requests (requested, allocated, released) issued by threads.  The
+manager of the FIFO controls the access order and locks the resource for
+some threads or allocates it to the appropriate threads."
+
+Semantics (Clauss & Gustedt, JPDC 2010):
+
+* requests join the queue strictly in insertion order;
+* the head request is *granted* (allocated) when the resource frees up;
+  consecutive **read** requests at the head are granted together
+  (readers share), a **write** request is granted alone (exclusive);
+* a granted request stays at the head region until *released*;
+* iterative tasks re-insert a fresh request at the tail when releasing
+  (``orwl_next``), which yields the deterministic round-robin access
+  order that makes ORWL programs livelock- and deadlock-free.
+
+The FIFO is a passive data structure: granting calls the ``on_grant``
+callback the runtime supplied (which routes through a control thread or
+fires the grant event directly).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Optional
+
+
+class AccessMode(enum.Enum):
+    """Read (shared) or write (exclusive) access."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class RequestState(enum.Enum):
+    PENDING = "pending"  #: queued, not yet allocated
+    GRANTED = "granted"  #: allocated; the holder may proceed
+    RELEASED = "released"  #: done; no longer in the queue
+    CANCELLED = "cancelled"  #: withdrawn before being granted
+
+
+class Request:
+    """One entry of a location FIFO."""
+
+    __slots__ = ("mode", "state", "tag", "payload")
+
+    def __init__(self, mode: AccessMode, tag: str = "") -> None:
+        self.mode = mode
+        self.state = RequestState.PENDING
+        #: free-form identifier (op name) for diagnostics.
+        self.tag = tag
+        #: runtime-attached object (the grant SimEvent).
+        self.payload: object = None
+
+    def __repr__(self) -> str:
+        return f"<Request {self.tag!r} {self.mode.value} {self.state.value}>"
+
+
+class FifoError(RuntimeError):
+    """Raised on protocol violations (double release, foreign request...)."""
+
+
+class OrwlFifo:
+    """The request FIFO of one location.
+
+    Parameters
+    ----------
+    on_grant:
+        Callback invoked exactly once per request when it becomes
+        granted.  The runtime uses it to wake the owner (directly or via
+        a control thread).
+    name:
+        Diagnostic label (usually the location name).
+    """
+
+    def __init__(
+        self,
+        on_grant: Optional[Callable[[Request], None]] = None,
+        name: str = "",
+    ) -> None:
+        self._queue: Deque[Request] = deque()
+        self._on_grant = on_grant or (lambda req: None)
+        self.name = name
+        #: total requests ever inserted (diagnostics).
+        self.inserted = 0
+
+    # -- queue inspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def queue(self) -> tuple[Request, ...]:
+        """Snapshot of the queue, head first."""
+        return tuple(self._queue)
+
+    def granted_count(self) -> int:
+        """Number of currently granted (allocated, unreleased) requests."""
+        n = 0
+        for req in self._queue:
+            if req.state is RequestState.GRANTED:
+                n += 1
+            else:
+                break
+        return n
+
+    def holder_modes(self) -> list[AccessMode]:
+        return [r.mode for r in self._queue if r.state is RequestState.GRANTED]
+
+    # -- operations ----------------------------------------------------------
+
+    def insert(self, mode: AccessMode, tag: str = "") -> Request:
+        """Append a request at the tail; may grant immediately.
+
+        Returns the request object the holder will release later.
+        """
+        req = Request(mode, tag=tag)
+        self._queue.append(req)
+        self.inserted += 1
+        self._pump()
+        return req
+
+    def release(self, req: Request) -> None:
+        """Release a granted request, allowing successors to be granted."""
+        if req.state is not RequestState.GRANTED:
+            raise FifoError(
+                f"cannot release request {req!r} in state {req.state.value}"
+            )
+        try:
+            self._queue.remove(req)
+        except ValueError:
+            raise FifoError(f"request {req!r} is not in FIFO {self.name!r}") from None
+        req.state = RequestState.RELEASED
+        self._pump()
+
+    def cancel(self, req: Request) -> None:
+        """Withdraw a request.  Granted requests are released instead."""
+        if req.state is RequestState.GRANTED:
+            self.release(req)
+            return
+        if req.state is not RequestState.PENDING:
+            return  # already out of the queue
+        self._queue.remove(req)
+        req.state = RequestState.CANCELLED
+        self._pump()
+
+    # -- grant engine -----------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Grant every request that the ordered-RW-lock rules allow.
+
+        Invariant: granted requests always form a prefix of the queue.
+        A WRITE is granted only when it is the head and nothing is
+        granted; READs are granted while the granted prefix is all-READ.
+        """
+        granted: list[Request] = []
+        while True:
+            n_active = self.granted_count()
+            if n_active >= len(self._queue):
+                break
+            nxt = self._queue[n_active]
+            assert nxt.state is RequestState.PENDING
+            if nxt.mode is AccessMode.WRITE:
+                if n_active > 0:
+                    break
+            else:  # READ: needs the active prefix to be all reads
+                if any(
+                    self._queue[k].mode is AccessMode.WRITE for k in range(n_active)
+                ):
+                    break
+            nxt.state = RequestState.GRANTED
+            granted.append(nxt)
+        for req in granted:
+            self._on_grant(req)
+
+    def __repr__(self) -> str:
+        return f"<OrwlFifo {self.name!r} len={len(self._queue)} granted={self.granted_count()}>"

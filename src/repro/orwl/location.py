@@ -1,0 +1,81 @@
+"""ORWL locations: the model's abstraction of a shared resource.
+
+"These resources are abstracted in the ORWL model by the notion of
+*location*."  A location owns:
+
+* an :class:`~repro.orwl.fifo.OrwlFifo` ordering all accesses,
+* a payload size in bytes (what a reader physically pulls),
+* provenance: which operation/thread last wrote it (so the simulator can
+  price the read transfer by producer→consumer distance, and the tracer
+  can accumulate the communication matrix).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.orwl.fifo import OrwlFifo, Request
+from repro.util.validate import ValidationError
+
+
+class Location:
+    """A named shared resource with FIFO-ordered read/write access.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the program (e.g. ``"block3.4/north"``).
+    nbytes:
+        Payload size: how many bytes a reader transfers from the last
+        writer.  May be 0 for pure-synchronization locations.
+    owner_task:
+        Name of the task whose control thread manages this location's
+        FIFO (ORWL locations are hosted by the task that declares them).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        nbytes: float,
+        owner_task: str = "",
+        affinity_bytes: float | None = None,
+    ) -> None:
+        if not name:
+            raise ValidationError("location needs a non-empty name")
+        if nbytes < 0:
+            raise ValidationError(f"nbytes must be >= 0, got {nbytes}")
+        if affinity_bytes is not None and affinity_bytes < 0:
+            raise ValidationError(f"affinity_bytes must be >= 0, got {affinity_bytes}")
+        self.name = name
+        self.nbytes = float(nbytes)
+        #: weight used by the *static* affinity extraction (defaults to
+        #: nbytes).  Lets a program express that the threads around a
+        #: location share more memory than the exported payload itself —
+        #: e.g. a frontier-export sub-operation reads its slice out of
+        #: the task's full block buffer, so its affinity to the writer is
+        #: the block footprint, not the few-KB frontier.
+        self.affinity_bytes = float(affinity_bytes) if affinity_bytes is not None else None
+        self.owner_task = owner_task
+        self.fifo = OrwlFifo(name=name)
+        #: thread id (simulator tid) of the last writer, -1 if never written.
+        self.last_writer_tid: int = -1
+        #: op name of the last writer ("" if never written).
+        self.last_writer_op: str = ""
+        #: number of completed writes (payload version).
+        self.version: int = 0
+
+    def set_grant_callback(self, cb: Callable[[Request], None]) -> None:
+        """Install the runtime's grant-routing callback (pre-run)."""
+        self.fifo._on_grant = cb
+
+    def note_write(self, tid: int, op_name: str) -> None:
+        """Record provenance after a write release."""
+        self.last_writer_tid = tid
+        self.last_writer_op = op_name
+        self.version += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<Location {self.name!r} {self.nbytes:g}B v{self.version} "
+            f"fifo={len(self.fifo)}>"
+        )

@@ -1,0 +1,190 @@
+"""ORWL program declaration: tasks, operations, locations, dependencies.
+
+"To implement [LK23] with the ORWL model ... for each block we define a
+main operation that performs the computation and eight sub-operations
+that are used to export the frontier data to the neighbouring.  Thus ...
+several ``orwl_task`` primitives are each divided to 9 operations
+(functions).  Each operation is executed by an independent thread and
+has its own ``orwl_location``."
+
+A :class:`Program` is the static composition: locations, tasks, each
+task's operations, and each operation's handles.  It is what the
+placement add-on inspects to extract affinity *before* execution, and
+what the runtime instantiates into simulator threads.
+
+Operation bodies are generator functions ``body(ctx)`` receiving an
+:class:`repro.orwl.runtime.OpContext`; they yield simulator syscalls via
+the context helpers (``ctx.compute``, ``ctx.acquire`` ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.orwl.fifo import AccessMode
+from repro.orwl.handle import Handle
+from repro.orwl.location import Location
+from repro.util.validate import ValidationError
+
+#: An operation body: called with the OpContext, returns a generator.
+OpBody = Callable[["object"], Generator]
+
+
+class Operation:
+    """One operation of a task — executed by its own thread."""
+
+    def __init__(self, task: "TaskDecl", name: str, body: OpBody) -> None:
+        self.task = task
+        self.name = f"{task.name}/{name}"
+        self.short_name = name
+        self.body = body
+        self.handles: list[Handle] = []
+        #: True for the compute-heavy op of the task (used to pair
+        #: control threads with their task's main op).
+        self.is_main = name == "main"
+
+    def handle(self, location: Location, mode: AccessMode) -> Handle:
+        """Declare an access of this operation to *location*."""
+        h = Handle(location, mode, op_name=self.name)
+        self.handles.append(h)
+        return h
+
+    def read_handles(self) -> list[Handle]:
+        return [h for h in self.handles if h.mode is AccessMode.READ]
+
+    def write_handles(self) -> list[Handle]:
+        return [h for h in self.handles if h.mode is AccessMode.WRITE]
+
+    def __repr__(self) -> str:
+        return f"<Operation {self.name!r} {len(self.handles)} handles>"
+
+
+class TaskDecl:
+    """An ``orwl_task``: a named group of operations."""
+
+    def __init__(self, program: "Program", name: str) -> None:
+        self.program = program
+        self.name = name
+        self.operations: dict[str, Operation] = {}
+
+    def operation(self, name: str, body: OpBody) -> Operation:
+        """Declare an operation; *name* must be unique within the task."""
+        if name in self.operations:
+            raise ValidationError(f"task {self.name!r} already has operation {name!r}")
+        op = Operation(self, name, body)
+        self.operations[name] = op
+        self.program._op_order.append(op)
+        return op
+
+    @property
+    def main_operation(self) -> Optional[Operation]:
+        return self.operations.get("main")
+
+    def __repr__(self) -> str:
+        return f"<TaskDecl {self.name!r} {len(self.operations)} ops>"
+
+
+class Program:
+    """The static composition of an ORWL application."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.locations: dict[str, Location] = {}
+        self.tasks: dict[str, TaskDecl] = {}
+        self._op_order: list[Operation] = []
+
+    # -- declaration --------------------------------------------------------
+
+    def location(
+        self,
+        name: str,
+        nbytes: float,
+        owner_task: str = "",
+        affinity_bytes: float | None = None,
+    ) -> Location:
+        """Declare a location; names are unique program-wide.
+
+        *affinity_bytes* optionally overrides the weight the static
+        affinity extraction assigns to writer/reader pairs of this
+        location (see :class:`~repro.orwl.location.Location`).
+        """
+        if name in self.locations:
+            raise ValidationError(f"duplicate location {name!r}")
+        loc = Location(name, nbytes, owner_task=owner_task, affinity_bytes=affinity_bytes)
+        self.locations[name] = loc
+        return loc
+
+    def task(self, name: str) -> TaskDecl:
+        """Declare (or fetch) a task."""
+        if name in self.tasks:
+            return self.tasks[name]
+        t = TaskDecl(self, name)
+        self.tasks[name] = t
+        return t
+
+    # -- introspection --------------------------------------------------------
+
+    def operations(self) -> list[Operation]:
+        """All operations in declaration order — this order defines both
+        thread ids and the ORWL init protocol's request-insertion order."""
+        return list(self._op_order)
+
+    @property
+    def n_operations(self) -> int:
+        return len(self._op_order)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def operation_index(self, op: Operation) -> int:
+        """Stable thread index of an operation (declaration order)."""
+        return self._op_order.index(op)
+
+    def readers_of(self, location: Location) -> list[Operation]:
+        """Operations holding a READ handle on *location*."""
+        return [
+            op
+            for op in self._op_order
+            if any(h.location is location and h.mode is AccessMode.READ for h in op.handles)
+        ]
+
+    def writers_of(self, location: Location) -> list[Operation]:
+        """Operations holding a WRITE handle on *location*."""
+        return [
+            op
+            for op in self._op_order
+            if any(h.location is location and h.mode is AccessMode.WRITE for h in op.handles)
+        ]
+
+    def validate(self) -> None:
+        """Static sanity checks before running.
+
+        Every operation must have a body; every location that is read
+        must also be written by someone (otherwise readers transfer
+        undefined data — almost always a composition bug).
+        """
+        for op in self._op_order:
+            if op.body is None:
+                raise ValidationError(f"operation {op.name!r} has no body")
+        # One pass over all handles (readers_of/writers_of per location
+        # would be quadratic on large programs).
+        read_locs: set[str] = set()
+        written_locs: set[str] = set()
+        for op in self._op_order:
+            for h in op.handles:
+                if h.mode is AccessMode.READ:
+                    read_locs.add(h.location.name)
+                else:
+                    written_locs.add(h.location.name)
+        unwritten = read_locs - written_locs
+        if unwritten:
+            raise ValidationError(
+                f"location(s) read but never written: {sorted(unwritten)[:5]}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Program {self.name!r}: {self.n_tasks} tasks, "
+            f"{self.n_operations} ops, {len(self.locations)} locations>"
+        )

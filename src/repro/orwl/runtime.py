@@ -1,0 +1,361 @@
+"""The ORWL event-based runtime, executing programs on the simulator.
+
+"The implementation of the model reaches high performances thanks to a
+decentralized event-based runtime."  This module is that runtime, built
+on :class:`repro.simulate.Machine`:
+
+* every **operation** runs as its own simulated thread (paper: "each
+  operation is executed by an independent thread");
+* every **task** additionally owns a **control thread** — the event/FIFO
+  manager of the task's locations.  Lock grants are routed through it,
+  so where the control thread is placed genuinely affects grant latency
+  (this is what the paper's control-thread mapping extension optimizes);
+* the **init protocol** inserts every handle's first request in global
+  declaration order before any thread starts, giving the deterministic
+  initial FIFO ordering ORWL prescribes;
+* read acquisitions physically pull the location payload from its last
+  writer, priced by topological distance — the locality being optimized.
+
+Placement enters exclusively through the ``mapping`` /
+``control_mapping`` arguments: the same program, machine, and seeds run
+bound or unbound, which is exactly the paper's ORWL-Bind vs ORWL-NoBind
+comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.comm.trace import CommTracer
+from repro.orwl.fifo import AccessMode, Request
+from repro.orwl.handle import Handle
+from repro.orwl.location import Location
+from repro.orwl.program import Operation, Program
+from repro.simulate.engine import SimEvent
+from repro.simulate.machine import Machine
+from repro.simulate.metrics import MachineMetrics
+from repro.simulate.syscalls import Compute, Receive, Wait
+from repro.treematch.mapping import Mapping
+from repro.util.validate import ValidationError
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tunables of the ORWL runtime model.
+
+    ``grant_cost`` is the control-thread service time per lock grant
+    (event handling, FIFO bookkeeping, the message to the waiter) and
+    ``direct_grant_latency`` the fallback cost when control threads are
+    disabled.  Both are a few microseconds, the magnitude of a futex
+    wake plus queue manipulation.
+    """
+
+    control_threads: bool = True
+    grant_cost: float = 2e-6
+    direct_grant_latency: float = 1e-6
+    trace: bool = True
+
+
+@dataclass
+class RunResult:
+    """Outcome of one runtime execution."""
+
+    #: total simulated processing time in seconds.
+    time: float
+    #: the machine's counters.
+    metrics: MachineMetrics
+    #: op-level communication trace (None if tracing disabled).
+    tracer: Optional[CommTracer]
+    #: the mapping that was applied to compute ops.
+    mapping: Mapping
+    #: events processed by the simulation engine (diagnostics).
+    engine_events: int = 0
+
+
+class _ControlQueue:
+    """Service queue of one task's control thread."""
+
+    __slots__ = ("jobs", "waiter", "shutdown")
+
+    def __init__(self) -> None:
+        self.jobs: deque[Request] = deque()
+        self.waiter: Optional[SimEvent] = None
+        self.shutdown = False
+
+
+class OpContext:
+    """The API surface an operation body sees (its ``ctx`` argument).
+
+    Methods that can block are generators — call them as
+    ``yield from ctx.acquire(h)``.  Non-blocking ones are plain calls.
+    """
+
+    def __init__(self, runtime: "Runtime", op: Operation, tid: int) -> None:
+        self._rt = runtime
+        self.op = op
+        #: simulator thread id of this operation.
+        self.tid = tid
+
+    # -- work ------------------------------------------------------------
+
+    def compute(self, seconds: Optional[float] = None, flops: Optional[float] = None):
+        """A compute burst; give either wall seconds or flops.
+
+        Flops are priced at the executing PU's rate when the work runs
+        (heterogeneous machines: a slow core takes proportionally
+        longer); seconds are taken literally.
+        """
+        if (seconds is None) == (flops is None):
+            raise ValidationError("give exactly one of seconds= or flops=")
+        if seconds is None:
+            from repro.simulate.syscalls import ComputeFlops
+
+            return ComputeFlops(flops)
+        return Compute(seconds)
+
+    def current_node(self) -> int:
+        """NUMA node this op's thread currently runs on (first-touch
+        homing: call once at iteration 0 and remember the result)."""
+        return self._rt.machine.node_of_thread(self.tid)
+
+    # -- lock protocol ------------------------------------------------------
+
+    def acquire(self, handle: Handle) -> Generator:
+        """Block until the handle's request is granted; readers then pull
+        the payload from its last writer (the locality-priced transfer)."""
+        req = handle.request
+        if req is None:
+            raise ValidationError(
+                f"{handle.op_name!r}: acquire without a pending request "
+                "(the runtime inserts the initial one; use ctx.next afterwards)"
+            )
+        event = self._rt.event_of(req)
+        if not event.fired:
+            yield Wait(event)
+        if handle.mode is AccessMode.READ:
+            loc = handle.location
+            writer = loc.last_writer_tid
+            if writer >= 0 and writer != self.tid and loc.nbytes > 0:
+                if self._rt.tracer is not None:
+                    self._rt.tracer.record_by_id(
+                        self._rt.trace_id_of_tid(writer),
+                        self._rt.trace_id_of_tid(self.tid),
+                        loc.nbytes,
+                    )
+                yield Receive(writer, loc.nbytes)
+
+    def release(self, handle: Handle) -> None:
+        """Release the grant (``orwl_release``); writers stamp provenance."""
+        if handle.mode is AccessMode.WRITE:
+            handle.location.note_write(self.tid, self.op.name)
+        handle.release()
+
+    def next(self, handle: Handle) -> None:
+        """``orwl_next``: finish this iteration's access and queue the
+        next one (insert-at-tail then release, keeping round order)."""
+        if handle.mode is AccessMode.WRITE:
+            handle.location.note_write(self.tid, self.op.name)
+        handle.next_request()
+
+
+class Runtime:
+    """Instantiate and execute a :class:`Program` on a :class:`Machine`."""
+
+    def __init__(
+        self,
+        program: Program,
+        machine: Machine,
+        mapping: Optional[Mapping] = None,
+        control_mapping: Optional[Mapping] = None,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        program:
+            The validated ORWL program.
+        machine:
+            A fresh machine (one run per machine).
+        mapping:
+            PU assignment for the compute operations, in program
+            declaration order.  ``None`` (or -1 entries) = unbound.
+        control_mapping:
+            PU assignment for the per-task control threads, in task
+            declaration order.  ``None`` = unbound control threads.
+        """
+        program.validate()
+        self.program = program
+        self.machine = machine
+        self.config = config or RuntimeConfig()
+        self.tracer = CommTracer() if self.config.trace else None
+
+        ops = program.operations()
+        n_ops = len(ops)
+        if mapping is None:
+            mapping = Mapping(tuple(-1 for _ in ops), policy="nobind")
+        if mapping.n_threads != n_ops:
+            raise ValidationError(
+                f"mapping covers {mapping.n_threads} threads, program has {n_ops} ops"
+            )
+        self.mapping = mapping
+
+        task_names = list(program.tasks)
+        if control_mapping is not None and control_mapping.n_threads != len(task_names):
+            raise ValidationError(
+                f"control mapping covers {control_mapping.n_threads} threads, "
+                f"program has {len(task_names)} tasks"
+            )
+
+        # -- create op threads (declaration order == thread order) ---------
+        self._op_tid: dict[str, int] = {}
+        self._trace_id_of_tid: dict[int, int] = {}
+        for k, op in enumerate(ops):
+            pu = mapping.pu(k)
+            tid = machine.add_thread(op.name, bound_pu_os=pu if pu >= 0 else None)
+            self._op_tid[op.name] = tid
+            if self.tracer is not None:
+                self._trace_id_of_tid[tid] = self.tracer.register(op.name)
+
+        # -- create control threads (one per task) -------------------------
+        self._control_queue_of_task: dict[str, _ControlQueue] = {}
+        self._control_tids: list[int] = []
+        if self.config.control_threads:
+            for k, tname in enumerate(task_names):
+                pu = control_mapping.pu(k) if control_mapping is not None else -1
+                # Control threads are mostly-sleeping event handlers: they
+                # preempt briefly rather than queue behind compute bursts.
+                tid = machine.add_thread(
+                    f"{tname}/ctl", bound_pu_os=pu if pu >= 0 else None, priority=True
+                )
+                cq = _ControlQueue()
+                self._control_queue_of_task[tname] = cq
+                self._control_tids.append(tid)
+                machine.set_body(tid, self._control_body(cq, tid))
+
+        # -- wire grant routing before inserting any request ----------------
+        self._events: dict[int, SimEvent] = {}
+        for loc in program.locations.values():
+            loc.set_grant_callback(self._make_grant_router(loc))
+
+        # -- the ORWL init protocol: initial requests ordered by the
+        # handles' init phase, then declaration order.  This is the
+        # deterministic global insertion order that seeds every FIFO.
+        all_handles = [(h.init_phase, k, j, h)
+                       for k, op in enumerate(ops)
+                       for j, h in enumerate(op.handles)]
+        all_handles.sort(key=lambda t: t[:3])
+        for _, _, _, h in all_handles:
+            h.insert_request()
+
+        # -- attach op bodies ------------------------------------------------
+        self._ops_remaining = n_ops
+        for k, op in enumerate(ops):
+            tid = self._op_tid[op.name]
+            ctx = OpContext(self, op, tid)
+            machine.set_body(tid, self._op_wrapper(op, ctx))
+
+        self._ran = False
+
+    # -- grant plumbing ------------------------------------------------------
+
+    def event_of(self, req: Request) -> SimEvent:
+        """The grant event of a request (created lazily, one per request).
+
+        Stored on the request itself (``payload``) — a dict keyed by
+        ``id(req)`` would collide when a released request is garbage
+        collected and a new one reuses its id.
+        """
+        ev = req.payload
+        if ev is None:
+            ev = self.machine.new_event(f"grant:{req.tag}")
+            req.payload = ev
+        return ev
+
+    def trace_id_of_tid(self, tid: int) -> int:
+        return self._trace_id_of_tid[tid]
+
+    def _make_grant_router(self, loc: Location):
+        owner = loc.owner_task
+
+        def route(req: Request) -> None:
+            cq = self._control_queue_of_task.get(owner)
+            if cq is None:
+                # No control thread for this location: direct grant.
+                self.event_of(req).fire(delay=self.config.direct_grant_latency)
+                return
+            cq.jobs.append(req)
+            if cq.waiter is not None:
+                w, cq.waiter = cq.waiter, None
+                w.fire()
+
+        return route
+
+    def _grant_message_latency(self, ctl_tid: int, req: Request) -> float:
+        """Latency of the grant message from control thread to waiter.
+
+        Priced by the topological distance between the two threads'
+        PUs: tens of nanoseconds under a shared cache, microseconds
+        across a cluster network — the decentralized runtime's messages
+        are not free, and their cost follows placement like everything
+        else.
+        """
+        waiter_tid = self._op_tid.get(req.tag)
+        if waiter_tid is None:
+            return 0.0
+        src = self.machine.thread(ctl_tid).current_pu
+        dst = self.machine.thread(waiter_tid).current_pu
+        if src < 0 or dst < 0:
+            return 0.0
+        return self.machine.distances.latency(src, dst)
+
+    def _control_body(self, cq: _ControlQueue, ctl_tid: int) -> Generator:
+        """Control-thread loop: service grant messages until shutdown."""
+        while True:
+            while cq.jobs:
+                req = cq.jobs.popleft()
+                yield Compute(self.config.grant_cost)
+                self.event_of(req).fire(
+                    delay=self._grant_message_latency(ctl_tid, req)
+                )
+            if cq.shutdown:
+                return
+            ev = self.machine.new_event("ctl-wake")
+            cq.waiter = ev
+            yield Wait(ev)
+
+    def _op_wrapper(self, op: Operation, ctx: OpContext) -> Generator:
+        """Run the user body, then tear down: cancel leftover requests and,
+        when the last op finishes, shut the control threads down."""
+        try:
+            yield from op.body(ctx)
+        finally:
+            for h in op.handles:
+                h.cancel()
+            self._ops_remaining -= 1
+            if self._ops_remaining == 0:
+                for cq in self._control_queue_of_task.values():
+                    cq.shutdown = True
+                    if cq.waiter is not None:
+                        w, cq.waiter = cq.waiter, None
+                        w.fire()
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute to completion; returns the :class:`RunResult`."""
+        if self._ran:
+            raise ValidationError("runtime already ran; build a fresh one")
+        self._ran = True
+        total = self.machine.run()
+        return RunResult(
+            time=total,
+            metrics=self.machine.metrics,
+            tracer=self.tracer,
+            mapping=self.mapping,
+            engine_events=self.machine.engine.events_fired,
+        )
+
+    def tid_of_op(self, op_name: str) -> int:
+        return self._op_tid[op_name]

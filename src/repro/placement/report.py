@@ -1,0 +1,111 @@
+"""Placement reports: human-readable summaries of a bind plan.
+
+Produces the diagnostics a user of the add-on would want before trusting
+a mapping: per-NUMA-node and per-package occupancy, the locality scores
+from :mod:`repro.treematch.cost`, and a side-by-side comparison table of
+several policies on the same program/topology.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from repro.comm.matrix import CommMatrix
+from repro.topology.objects import ObjType
+from repro.topology.tree import Topology
+from repro.treematch import cost as cost_mod
+from repro.treematch.mapping import Mapping
+
+
+def occupancy_by_type(
+    mapping: Mapping, topo: Topology, type_: ObjType
+) -> dict[int, int]:
+    """Thread count per object of *type_* (keyed by logical index).
+
+    Unbound threads are not counted.  Objects with zero threads are
+    included so gaps are visible.
+    """
+    counts: Counter = Counter()
+    for t in range(mapping.n_threads):
+        pu = mapping.pu(t)
+        if pu < 0:
+            continue
+        obj = topo.pu_by_os_index(pu)
+        for anc in (obj, *obj.ancestors()):
+            if anc.type is type_:
+                counts[anc.logical_index] += 1
+                break
+    return {
+        o.logical_index: counts.get(o.logical_index, 0)
+        for o in topo.objects_by_type(type_)
+    }
+
+
+def balance_score(mapping: Mapping, topo: Topology, type_: ObjType) -> float:
+    """Load balance across objects of *type_*: mean/max occupancy.
+
+    1.0 = perfectly even; approaches 0 when one object holds everything.
+    Returns 1.0 when nothing is bound or the level is absent.
+    """
+    occ = occupancy_by_type(mapping, topo, type_)
+    if not occ:
+        return 1.0
+    values = list(occ.values())
+    peak = max(values)
+    if peak == 0:
+        return 1.0
+    return (sum(values) / len(values)) / peak
+
+
+def render_report(
+    mapping: Mapping,
+    matrix: CommMatrix,
+    topo: Topology,
+    title: str = "",
+) -> str:
+    """Multi-line placement report for one mapping."""
+    lines: list[str] = []
+    head = title or f"Placement report — policy {mapping.policy or 'unknown'}"
+    lines.append(head)
+    lines.append("=" * len(head))
+    lines.append(
+        f"threads: {mapping.n_threads}  bound: {mapping.bound_fraction():.0%}  "
+        f"max PU load: {mapping.max_load()}"
+    )
+    scores = cost_mod.score_report(mapping, matrix, topo)
+    lines.append(
+        "locality: hop-bytes={hop_bytes:.4g}  numa-cut={numa_cut:.4g}  "
+        "cache-share={cache_share_fraction:.1%}  est-comm-time={comm_time_estimate:.4g}s".format(
+            **scores
+        )
+    )
+    for type_ in (ObjType.NUMANODE, ObjType.PACKAGE):
+        occ = occupancy_by_type(mapping, topo, type_)
+        if not occ:
+            continue
+        bal = balance_score(mapping, topo, type_)
+        dist = " ".join(str(occ[k]) for k in sorted(occ))
+        lines.append(f"{type_.name.lower()} occupancy (balance {bal:.2f}): {dist}")
+    return "\n".join(lines)
+
+
+def compare_policies(
+    mappings: Sequence[Mapping],
+    matrix: CommMatrix,
+    topo: Topology,
+) -> str:
+    """Tabular comparison of several mappings on the same input."""
+    header = (
+        f"{'policy':<14} {'hop-bytes':>12} {'numa-cut':>12} "
+        f"{'cache-share':>12} {'est-time(s)':>12} {'max-load':>9}"
+    )
+    rows = [header, "-" * len(header)]
+    for mp in mappings:
+        s = cost_mod.score_report(mp, matrix, topo)
+        rows.append(
+            f"{mp.policy or '?':<14} {s['hop_bytes']:>12.4g} {s['numa_cut']:>12.4g} "
+            f"{s['cache_share_fraction']:>12.1%} {s['comm_time_estimate']:>12.4g} "
+            f"{int(s['max_load']):>9}"
+        )
+    return "\n".join(rows)

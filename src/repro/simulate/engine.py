@@ -1,0 +1,131 @@
+"""Discrete-event simulation core.
+
+A tiny, deterministic event engine: a priority heap of ``(time, seq,
+callback)`` entries.  ``seq`` is a monotonically increasing tie-breaker,
+so two events at the same timestamp always fire in scheduling order and
+every simulation is bit-for-bit reproducible.
+
+Everything above (machine, threads, ORWL runtime) is built out of
+:meth:`Engine.schedule` plus :class:`SimEvent` wait/notify.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised on engine misuse (negative delays, deadlock detection)."""
+
+
+class Engine:
+    """The event loop owning simulated time."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events processed so far (for diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run *fn* at ``now + delay`` (delay may be 0, never negative)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), fn))
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run *fn* at absolute simulated *time* (>= now)."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past ({time} < {self._now})")
+        heapq.heappush(self._heap, (time, next(self._seq), fn))
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time, _, fn = heapq.heappop(self._heap)
+        self._now = time
+        self._events_fired += 1
+        fn()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 500_000_000) -> float:
+        """Drain the event queue (optionally stopping at time *until*).
+
+        Returns the final simulated time.  *max_events* is a runaway
+        guard; exceeding it raises :class:`SimulationError`.
+        """
+        fired = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            self.step()
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; livelock?")
+        return self._now
+
+
+class SimEvent:
+    """One-shot wait/notify: threads park on it, ``fire`` releases them.
+
+    The callbacks are whatever the machine registers to resume a thread;
+    firing an already-fired event is an error (ORWL grants are unique).
+    """
+
+    __slots__ = ("_engine", "_fired", "_release_at", "_waiters", "name")
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self._engine = engine
+        self._fired = False
+        self._release_at = 0.0
+        self._waiters: list[Callable[[], None]] = []
+        self.name = name
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def wait(self, callback: Callable[[], None]) -> None:
+        """Invoke *callback* when the event releases.
+
+        Waiting on an already-fired event still honours the fire delay:
+        the callback runs at the event's release time (or immediately if
+        that has passed).
+        """
+        if self._fired:
+            self._engine.schedule(max(0.0, self._release_at - self._engine.now), callback)
+        else:
+            self._waiters.append(callback)
+
+    def fire(self, delay: float = 0.0) -> None:
+        """Release all waiters after *delay*; one-shot."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._release_at = self._engine.now + delay
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self._engine.schedule(delay, cb)
+
+    def __repr__(self) -> str:
+        state = "fired" if self._fired else f"{len(self._waiters)} waiting"
+        return f"<SimEvent {self.name!r} {state}>"

@@ -1,0 +1,514 @@
+"""The simulated NUMA machine.
+
+:class:`Machine` executes :class:`SimThread` generator bodies on the PUs
+of a :class:`~repro.topology.tree.Topology`, charging:
+
+* **compute** — serialized per PU (threads sharing a PU queue up);
+* **transfers** — priced by the topological distance between producer
+  and consumer PUs via :class:`~repro.topology.distance.DistanceModel`,
+  stretched by :class:`~repro.simulate.contention.ContentionModel`;
+* **unbound threads** — placed and periodically migrated by the
+  :class:`~repro.simulate.scheduler.OsScheduler` model, paying a
+  cache-refill penalty per migration.
+
+This is the substitution for the paper's real 192-core SMP: wall-clock
+"processing time" in the experiments is :attr:`Machine.engine`'s final
+simulated time (see DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.simulate.contention import ContentionConfig, ContentionModel
+from repro.simulate.engine import Engine, SimEvent, SimulationError
+from repro.simulate.metrics import MachineMetrics
+from repro.simulate.scheduler import OsScheduler, SchedulerConfig
+from repro.simulate.syscalls import (
+    Compute,
+    ComputeFlops,
+    Receive,
+    ReceiveFromNode,
+    Syscall,
+    Wait,
+    Yield,
+)
+from repro.topology.distance import DistanceModel
+from repro.topology.objects import ObjType
+from repro.topology.tree import Topology
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validate import check_positive
+
+#: Type of a thread body: a generator yielding Syscalls.
+ThreadBody = Generator[Syscall, None, None]
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class SimThread:
+    """A simulated thread: identity, placement, and its generator body."""
+
+    __slots__ = (
+        "tid",
+        "name",
+        "bound_pu",
+        "current_pu",
+        "state",
+        "body",
+        "pending_penalty",
+        "consumed_since_balance",
+        "blocked_since",
+        "priority",
+        "compute_time",
+        "transfer_time",
+        "wait_time",
+        "migrations",
+    )
+
+    def __init__(
+        self, tid: int, name: str, bound_pu: Optional[int], priority: bool = False
+    ) -> None:
+        self.tid = tid
+        self.name = name
+        #: logical PU index if bound, None if under the OS scheduler.
+        self.bound_pu = bound_pu
+        #: high-priority (preempting) thread — see Machine.add_thread.
+        self.priority = priority
+        #: logical PU the thread currently occupies.
+        self.current_pu: int = -1
+        self.state = ThreadState.NEW
+        self.body: Optional[ThreadBody] = None
+        #: cache-refill seconds to add to the next work item.
+        self.pending_penalty = 0.0
+        #: CPU seconds consumed since the last balancing decision.
+        self.consumed_since_balance = 0.0
+        self.blocked_since = 0.0
+        #: per-thread accounting (see Machine.thread_stats).
+        self.compute_time = 0.0
+        self.transfer_time = 0.0
+        self.wait_time = 0.0
+        self.migrations = 0
+
+    @property
+    def is_bound(self) -> bool:
+        return self.bound_pu is not None
+
+    def __repr__(self) -> str:
+        return f"<SimThread {self.tid} {self.name!r} {self.state.value} pu={self.current_pu}>"
+
+
+class Machine:
+    """Discrete-event machine executing thread bodies on a topology.
+
+    Parameters
+    ----------
+    topo:
+        The machine's topology; transfer costs derive from it.
+    distance_model:
+        Optional pre-built :class:`DistanceModel` (rebuilt otherwise).
+    core_rate:
+        Sustained compute throughput per PU in flop/s (used by workloads
+        that express work in flops; bodies may also yield plain seconds).
+    core_rate_of:
+        Optional per-PU rate overrides ``{pu_os_index: flop/s}`` for
+        heterogeneous machines (slow nodes, big.LITTLE cores).  Only
+        :class:`~repro.simulate.syscalls.ComputeFlops` work is affected;
+        fixed-seconds :class:`Compute` bursts are rate-independent by
+        definition.
+    contention, scheduler:
+        Model configurations (defaults are calibrated, see the modules).
+    compute_jitter:
+        Multiplicative noise half-width on compute durations (e.g. 0.01
+        = ±1 %), de-synchronizing lock-step threads the way real cores
+        do.  0 disables.
+    seed:
+        Seed for scheduler and jitter randomness.
+    timeline:
+        Record a per-thread activity trace
+        (:class:`repro.simulate.timeline.Timeline`) — off by default as
+        large runs produce many segments.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        distance_model: Optional[DistanceModel] = None,
+        core_rate: float = 2e9,
+        contention: Optional[ContentionConfig] = None,
+        scheduler: Optional[SchedulerConfig] = None,
+        compute_jitter: float = 0.0,
+        seed: SeedLike = 0,
+        timeline: bool = False,
+        core_rate_of: Optional[dict[int, float]] = None,
+    ) -> None:
+        self.topo = topo
+        self.distances = distance_model or DistanceModel(topo)
+        self.core_rate = check_positive(core_rate, "core_rate")
+        # Per-logical-PU rates (heterogeneity), defaulting to core_rate.
+        self._rate_of_pu = [self.core_rate] * topo.nb_pus
+        if core_rate_of:
+            os_to_logical = {pu.os_index: pu.logical_index for pu in topo.pus()}
+            for os_idx, rate in core_rate_of.items():
+                if os_idx not in os_to_logical:
+                    raise SimulationError(f"no PU with os_index {os_idx}")
+                self._rate_of_pu[os_to_logical[os_idx]] = check_positive(
+                    rate, f"core_rate_of[{os_idx}]"
+                )
+        if not 0.0 <= compute_jitter < 1.0:
+            raise ValueError(f"compute_jitter must be in [0, 1), got {compute_jitter}")
+        self.compute_jitter = compute_jitter
+        self.engine = Engine()
+        self.metrics = MachineMetrics()
+        n_pus = topo.nb_pus
+        n_nodes = max(topo.nbobjs_by_type(ObjType.NUMANODE), 1)
+        self.contention = ContentionModel(n_nodes, contention)
+        rng = make_rng(seed)
+        self._jitter_rng = make_rng(int(rng.integers(2**63 - 1)))
+        self.scheduler = OsScheduler(
+            n_pus, scheduler, seed=int(rng.integers(2**63 - 1))
+        )
+        self._threads: list[SimThread] = []
+        #: time each PU becomes free (run-queue serialization).
+        self._pu_free_at = np.zeros(n_pus, dtype=np.float64)
+        #: NUMA node logical index per PU logical index (for contention).
+        self._node_of_pu = []
+        for pu in topo.pus():
+            node = topo.numa_node_of(pu.os_index)
+            self._node_of_pu.append(node.logical_index if node else 0)
+        self._os_to_logical = {pu.os_index: pu.logical_index for pu in topo.pus()}
+        self._started = False
+        if timeline:
+            from repro.simulate.timeline import Timeline
+
+            self.timeline: Optional["Timeline"] = Timeline()
+        else:
+            self.timeline = None
+
+    # -- thread setup ------------------------------------------------------
+
+    def add_thread(
+        self,
+        name: str = "",
+        bound_pu_os: Optional[int] = None,
+        priority: bool = False,
+    ) -> int:
+        """Register a thread; returns its id.
+
+        *bound_pu_os* is a PU os_index (``None`` = OS-scheduled,
+        unbound).  *priority* marks an event-handler-style thread whose
+        short bursts preempt whatever occupies its PU instead of queueing
+        behind it — the behaviour a mostly-sleeping high-priority thread
+        gets from a real kernel.  Its cycles are still charged to the PU.
+        """
+        if self._started:
+            raise SimulationError("cannot add threads after run() started")
+        bound: Optional[int] = None
+        if bound_pu_os is not None and bound_pu_os >= 0:
+            try:
+                bound = self._os_to_logical[bound_pu_os]
+            except KeyError:
+                raise SimulationError(f"no PU with os_index {bound_pu_os}") from None
+        tid = len(self._threads)
+        self._threads.append(SimThread(tid, name or f"thread{tid}", bound, priority))
+        return tid
+
+    def set_body(self, tid: int, body: ThreadBody) -> None:
+        """Attach the generator body to a registered thread."""
+        t = self._threads[tid]
+        if t.body is not None:
+            raise SimulationError(f"thread {tid} already has a body")
+        t.body = body
+
+    def thread(self, tid: int) -> SimThread:
+        return self._threads[tid]
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._threads)
+
+    def new_event(self, name: str = "") -> SimEvent:
+        return SimEvent(self.engine, name)
+
+    def current_pu_os(self, tid: int) -> int:
+        """The os_index of the PU a thread currently occupies."""
+        t = self._threads[tid]
+        if t.current_pu < 0:
+            return -1
+        return self.topo.pus()[t.current_pu].os_index
+
+    def thread_stats(self, tid: int) -> dict[str, float]:
+        """Per-thread accounting: compute/transfer/wait seconds and
+        migration count.  Valid during and after a run."""
+        t = self._threads[tid]
+        return {
+            "compute_time": t.compute_time,
+            "transfer_time": t.transfer_time,
+            "wait_time": t.wait_time,
+            "migrations": float(t.migrations),
+        }
+
+    def node_of_thread(self, tid: int) -> int:
+        """NUMA node logical index a thread currently sits on (-1 if
+        not yet placed).  Workloads use this for first-touch homing."""
+        t = self._threads[tid]
+        if t.current_pu < 0:
+            return -1
+        return self._node_of_pu[t.current_pu]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_events: int = 500_000_000) -> float:
+        """Start all threads, drain the event queue, return final time.
+
+        Raises :class:`SimulationError` with the list of stuck threads if
+        the queue drains while threads are still blocked (deadlock).
+        """
+        if self._started:
+            raise SimulationError("machine already ran")
+        self._started = True
+        for t in self._threads:
+            if t.body is None:
+                raise SimulationError(f"thread {t.tid} ({t.name}) has no body")
+            t.current_pu = t.bound_pu if t.is_bound else self.scheduler.initial_pu()
+            self.scheduler.occupy(t.current_pu)
+            t.state = ThreadState.READY
+            self.engine.schedule(0.0, self._resume_fn(t))
+        self.engine.run(max_events=max_events)
+        stuck = [t for t in self._threads if t.state is not ThreadState.DONE]
+        if stuck:
+            names = ", ".join(f"{t.tid}:{t.name}({t.state.value})" for t in stuck[:10])
+            raise SimulationError(
+                f"deadlock: {len(stuck)} thread(s) never finished: {names}"
+            )
+        return self.engine.now
+
+    # -- syscall dispatch ---------------------------------------------------
+
+    def _resume_fn(self, t: SimThread) -> Callable[[], None]:
+        return lambda: self._advance(t)
+
+    def _advance(self, t: SimThread) -> None:
+        """Drive the thread's generator until it blocks or finishes."""
+        assert t.body is not None
+        t.state = ThreadState.RUNNING
+        try:
+            sc = next(t.body)
+        except StopIteration:
+            t.state = ThreadState.DONE
+            self.scheduler.vacate(t.current_pu)
+            return
+        self._perform(t, sc)
+
+    def _perform(self, t: SimThread, sc: Syscall) -> None:
+        if isinstance(sc, Compute):
+            self._do_work(t, sc.duration, is_compute=True)
+        elif isinstance(sc, ComputeFlops):
+            self._maybe_pull(t)  # pick the PU before pricing the work
+            self._do_work(t, sc.flops / self._rate_of_pu[t.current_pu], is_compute=True)
+        elif isinstance(sc, Receive):
+            self._do_receive(t, sc.producer, sc.nbytes)
+        elif isinstance(sc, ReceiveFromNode):
+            self._do_receive_from_node(t, sc.node_index, sc.nbytes)
+        elif isinstance(sc, Wait):
+            t.state = ThreadState.BLOCKED
+            t.blocked_since = self.engine.now
+            sc.event.wait(self._unblock_fn(t))
+        elif isinstance(sc, Yield):
+            t.state = ThreadState.READY
+            self.engine.schedule(0.0, self._resume_fn(t))
+        else:
+            raise SimulationError(f"thread {t.tid} yielded non-syscall {sc!r}")
+
+    def _unblock_fn(self, t: SimThread) -> Callable[[], None]:
+        def unblock() -> None:
+            waited = self.engine.now - t.blocked_since
+            self.metrics.record_wait(waited)
+            t.wait_time += waited
+            self._advance(t)
+
+        return unblock
+
+    def _occupy_pu(self, t: SimThread, duration: float) -> tuple[float, float]:
+        """Serialize *duration* of PU occupancy; returns (start, end).
+
+        Priority threads preempt: they start immediately and push the
+        PU's next-free time back by their (short) burst, approximating a
+        kernel scheduling a woken high-priority thread within the
+        running thread's timeslice.
+        """
+        pu = t.current_pu
+        now = self.engine.now
+        if t.priority:
+            end = now + duration
+            self._pu_free_at[pu] = max(self._pu_free_at[pu] + duration, end)
+            return now, end
+        start = max(now, self._pu_free_at[pu])
+        if start > now:
+            self.metrics.record_runq(start - now)
+        end = start + duration
+        self._pu_free_at[pu] = end
+        return start, end
+
+    def _maybe_pull(self, t: SimThread) -> None:
+        """Idle-balance an unbound thread before it occupies its PU.
+
+        A ready thread does not queue behind a busy PU while another
+        sits idle — the kernel pulls it over (paying the cache-refill
+        penalty).  Bound threads never move; that immunity is precisely
+        what the paper's binding buys.
+        """
+        if t.is_bound:
+            return
+        backlog = np.maximum(self._pu_free_at - self.engine.now, 0.0)
+        target = self.scheduler.pull_target(t.current_pu, backlog)
+        if target is not None:
+            self.scheduler.vacate(t.current_pu)
+            self.scheduler.occupy(target)
+            t.current_pu = target
+            penalty = self.scheduler.config.migration_penalty
+            t.pending_penalty += penalty
+            t.migrations += 1
+            self.metrics.record_migration(penalty)
+
+    def _do_work(self, t: SimThread, duration: float, is_compute: bool) -> None:
+        self._maybe_pull(t)
+        if self.compute_jitter > 0.0 and is_compute:
+            duration *= 1.0 + self.compute_jitter * (2.0 * self._jitter_rng.random() - 1.0)
+        if t.pending_penalty > 0.0:
+            duration += t.pending_penalty
+            t.pending_penalty = 0.0
+        start, end = self._occupy_pu(t, duration)
+        if is_compute:
+            self.metrics.record_compute(duration)
+            t.compute_time += duration
+            self._account_balancing(t, duration)
+        if self.timeline is not None:
+            from repro.simulate.timeline import Segment
+
+            self.timeline.record(
+                Segment(t.tid, t.name, "compute", t.current_pu, start, end)
+            )
+        t.state = ThreadState.READY
+        self.engine.at(end, self._resume_fn(t))
+
+    def _account_balancing(self, t: SimThread, consumed: float) -> None:
+        """Run the OS balancer for unbound threads per consumed quantum."""
+        if t.is_bound:
+            return
+        t.consumed_since_balance += consumed
+        quantum = self.scheduler.config.migration_quantum
+        while t.consumed_since_balance >= quantum:
+            t.consumed_since_balance -= quantum
+            backlog = np.maximum(self._pu_free_at - self.engine.now, 0.0)
+            target = self.scheduler.maybe_migrate(t.current_pu, backlog)
+            if target is not None:
+                self.scheduler.vacate(t.current_pu)
+                self.scheduler.occupy(target)
+                t.current_pu = target
+                penalty = self.scheduler.config.migration_penalty
+                t.pending_penalty += penalty
+                t.migrations += 1
+                self.metrics.record_migration(penalty)
+
+    def _transfer_duration(
+        self, consumer: SimThread, level: ObjType, base: float, producer_node: int
+    ) -> float:
+        slow = self.contention.slowdown(level, producer_node)
+        if slow > 1.0:
+            self.metrics.record_contention()
+        return base * slow
+
+    def _finish_transfer(
+        self,
+        t: SimThread,
+        level: ObjType,
+        nbytes: float,
+        duration: float,
+        producer_node: int,
+    ) -> None:
+        self.metrics.record_transfer(level, nbytes, duration)
+        t.transfer_time += duration
+        start, end = self._occupy_pu(t, duration)
+        if self.timeline is not None:
+            from repro.simulate.timeline import Segment
+
+            self.timeline.record(
+                Segment(t.tid, t.name, "transfer", t.current_pu, start, end)
+            )
+        self.contention.begin(level, producer_node)
+
+        def complete() -> None:
+            self.contention.end(level, producer_node)
+            self._advance(t)
+
+        t.state = ThreadState.READY
+        self.engine.at(end, complete)
+
+    def _do_receive(self, t: SimThread, producer_tid: int, nbytes: float) -> None:
+        self._maybe_pull(t)
+        if not 0 <= producer_tid < len(self._threads):
+            raise SimulationError(f"Receive from unknown thread {producer_tid}")
+        producer = self._threads[producer_tid]
+        src_pu = producer.current_pu
+        dst_pu = t.current_pu
+        if src_pu < 0 or dst_pu < 0:  # pragma: no cover - placed at start
+            raise SimulationError("transfer before placement")
+        level = self.distances.lca_type(src_pu, dst_pu)
+        base = self.distances.transfer_time(src_pu, dst_pu, nbytes)
+        if t.pending_penalty > 0.0:
+            base += t.pending_penalty
+            t.pending_penalty = 0.0
+        node = self._node_of_pu[src_pu]
+        duration = self._transfer_duration(t, level, base, node)
+        self._finish_transfer(t, level, nbytes, duration, node)
+
+    def _do_receive_from_node(self, t: SimThread, node_index: int, nbytes: float) -> None:
+        self._maybe_pull(t)
+        nodes = self.topo.objects_by_type(ObjType.NUMANODE)
+        dst_pu = t.current_pu
+        if not nodes:
+            # UMA machine: charge NUMANODE-class cost, no node contention.
+            level = ObjType.NUMANODE
+            from repro.topology.distance import DEFAULT_LEVEL_COSTS
+
+            costs = self.distances.level_costs.get(
+                level, DEFAULT_LEVEL_COSTS[ObjType.NUMANODE]
+            )
+            base = costs.transfer_time(nbytes)
+            duration = self._transfer_duration(t, level, base, -1)
+            self._finish_transfer(t, level, nbytes, duration, -1)
+            return
+        if not 0 <= node_index < len(nodes):
+            raise SimulationError(f"no NUMA node {node_index}")
+        consumer_node = self._node_of_pu[dst_pu]
+        if consumer_node == node_index:
+            level = ObjType.NUMANODE  # local DRAM
+        else:
+            rep = next(nodes[node_index].pus()).logical_index
+            level = self.distances.lca_type(rep, dst_pu)
+        from repro.topology.distance import DEFAULT_LEVEL_COSTS
+
+        costs = self.distances.level_costs.get(
+            level, DEFAULT_LEVEL_COSTS[ObjType.MACHINE]
+        )
+        base = costs.transfer_time(nbytes)
+        if t.pending_penalty > 0.0:
+            base += t.pending_penalty
+            t.pending_penalty = 0.0
+        duration = self._transfer_duration(t, level, base, node_index)
+        self._finish_transfer(t, level, nbytes, duration, node_index)
+
+    # -- convenience -----------------------------------------------------------
+
+    def seconds_for_flops(self, flops: float) -> float:
+        """Convert a flop count to seconds at the machine's core rate."""
+        return flops / self.core_rate

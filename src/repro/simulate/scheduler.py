@@ -1,0 +1,134 @@
+"""OS-scheduler model for unbound threads (the "NoBind" substrate).
+
+When a thread has no affinity, the real kernel's CFS decides where it
+runs — and periodically load-balances it to another core, cooling its
+caches and randomizing its distance to the threads it talks to.  This
+module models that with three ingredients:
+
+* **initial placement**: least-loaded PU, ties broken randomly (a decent
+  scheduler, deliberately not adversarial — the paper's NoBind numbers
+  are not a strawman);
+* **periodic migration**: after each ``migration_quantum`` of consumed
+  CPU time, the thread is re-balanced with probability ``migration_prob``
+  to the currently least-loaded PU, which is topology-blind;
+* **migration cost**: a cache-refill penalty added to the thread's next
+  compute burst.
+
+All randomness comes from a seeded generator owned by the machine, so
+NoBind runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validate import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunables of the OS-scheduler model.
+
+    Defaults: a balancing decision every 10 ms of consumed CPU time
+    (the magnitude of CFS load-balancing intervals); a thread migrates
+    when its PU's CPU backlog exceeds the least-loaded PU's by
+    ``imbalance_threshold`` (pull-style balancing), plus a small random
+    migration probability modelling wakeup-placement noise; each
+    migration charges a 50 µs cache-refill penalty, in line with
+    measured cache-warmup costs on NUMA machines.
+    """
+
+    migration_quantum: float = 10e-3
+    migration_prob: float = 0.02
+    migration_penalty: float = 50e-6
+    imbalance_threshold: float = 2e-3
+
+    def __post_init__(self) -> None:
+        check_positive(self.migration_quantum, "migration_quantum")
+        check_in_range(self.migration_prob, 0.0, 1.0, "migration_prob")
+        check_in_range(self.migration_penalty, 0.0, None, "migration_penalty")
+        check_in_range(self.imbalance_threshold, 0.0, None, "imbalance_threshold")
+
+
+class OsScheduler:
+    """Decides placement of unbound threads on behalf of the machine."""
+
+    def __init__(
+        self,
+        n_pus: int,
+        config: SchedulerConfig | None = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if n_pus <= 0:
+            raise ValueError(f"n_pus must be > 0, got {n_pus}")
+        self.config = config or SchedulerConfig()
+        self._rng = make_rng(seed)
+        self._load = np.zeros(n_pus, dtype=np.int64)  # threads per PU
+
+    # -- load bookkeeping ----------------------------------------------------
+
+    def occupy(self, pu: int) -> None:
+        self._load[pu] += 1
+
+    def vacate(self, pu: int) -> None:
+        self._load[pu] -= 1
+        assert self._load[pu] >= 0
+
+    def load_of(self, pu: int) -> int:
+        return int(self._load[pu])
+
+    # -- decisions -----------------------------------------------------------
+
+    def initial_pu(self) -> int:
+        """Pick a PU for a newly started unbound thread (least loaded)."""
+        lowest = int(self._load.min())
+        candidates = np.flatnonzero(self._load == lowest)
+        choice = int(candidates[self._rng.integers(len(candidates))])
+        return choice
+
+    def pull_target(self, current_pu: int, backlog: np.ndarray) -> int | None:
+        """Idle-balance pull: where a ready thread should run *now*.
+
+        When the thread's PU is booked ``imbalance_threshold`` seconds
+        beyond the least-loaded PU, return that least-loaded PU (random
+        tie-break) — topology-blind, like a real kernel's idle balance.
+        Returns ``None`` when the placement is fine.
+        """
+        imbalance = float(backlog[current_pu] - backlog.min())
+        if imbalance <= self.config.imbalance_threshold:
+            return None
+        candidates = np.flatnonzero(backlog == backlog.min())
+        target = int(candidates[self._rng.integers(len(candidates))])
+        return target if target != current_pu else None
+
+    def maybe_migrate(
+        self, current_pu: int, backlog: np.ndarray | None = None
+    ) -> int | None:
+        """Return a new PU if the balancer moves the thread, else ``None``.
+
+        Called by the machine once per consumed migration quantum.
+        *backlog* is the per-PU pending-CPU-seconds vector (how far in
+        the future each PU is booked); when the current PU's backlog
+        exceeds the minimum by ``imbalance_threshold``, the thread is
+        pulled to the least-backlogged PU — topology-blind, like the
+        real balancer.  Otherwise a small random migration models
+        wakeup-placement noise.
+        """
+        if backlog is not None:
+            target = self.pull_target(current_pu, backlog)
+            if target is not None:
+                return target
+        if self._rng.random() >= self.config.migration_prob:
+            return None
+        # Random noise migration toward a lightly loaded PU.
+        load = self._load.copy()
+        load[current_pu] -= 1
+        lowest = int(load.min())
+        candidates = np.flatnonzero(load == lowest)
+        target = int(candidates[self._rng.integers(len(candidates))])
+        if target == current_pu:
+            return None
+        return target

@@ -1,0 +1,99 @@
+"""Syscalls: the requests a simulated thread body may yield.
+
+A thread body is a Python generator.  Each ``yield`` hands the machine
+one of these objects; the machine performs it (advancing simulated time,
+blocking, moving data) and resumes the generator when done.  This is the
+simulated analogue of a pthread calling into libc/the ORWL runtime.
+
+* :class:`Compute` — occupy the current PU for a CPU-work duration.
+* :class:`Receive` — pull bytes last produced by another thread; the
+  cost depends on the topological distance between the two threads'
+  PUs (this is where placement pays off or doesn't).
+* :class:`Wait` — park on a :class:`~repro.simulate.engine.SimEvent`
+  (lock grants, barrier releases).
+* :class:`Yield` — give up the PU to other ready threads (cooperative
+  scheduling point, zero-cost otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulate.engine import SimEvent
+
+
+class Syscall:
+    """Marker base class for thread requests."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Syscall):
+    """Burn *duration* seconds of CPU on the thread's current PU."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative compute duration {self.duration}")
+
+
+@dataclass(frozen=True)
+class ComputeFlops(Syscall):
+    """Burn *flops* of work, priced at the executing PU's rate.
+
+    Unlike :class:`Compute` (fixed seconds), the duration is resolved
+    when the work starts, on whatever PU the thread occupies — the
+    syscall for heterogeneous machines where PUs differ in speed.
+    """
+
+    flops: float
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise ValueError(f"negative flop count {self.flops}")
+
+
+@dataclass(frozen=True)
+class Receive(Syscall):
+    """Consume *nbytes* produced by thread *producer* (by thread id).
+
+    ``producer`` may be ``-1`` to denote main memory at a NUMA node
+    (see :class:`ReceiveFromNode`); prefer the explicit class.
+    """
+
+    producer: int
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative transfer size {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class ReceiveFromNode(Syscall):
+    """Stream *nbytes* from the DRAM of NUMA node *node_index*.
+
+    Models first-touch memory traffic: the OpenMP comparator's workers
+    read their matrix slice from wherever it was allocated.
+    """
+
+    node_index: int
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative transfer size {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Wait(Syscall):
+    """Block until the event fires."""
+
+    event: SimEvent
+
+
+@dataclass(frozen=True)
+class Yield(Syscall):
+    """Cooperative scheduling point (lets queued threads on this PU run)."""

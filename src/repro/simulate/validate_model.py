@@ -1,0 +1,143 @@
+"""Self-validation of a machine's cost model.
+
+Users who customize :data:`~repro.topology.distance.DEFAULT_LEVEL_COSTS`
+or the contention/scheduler configs can violate the physical invariants
+the experiments rely on — e.g. a "remote" level cheaper than a local
+one makes placement results meaningless.  :func:`validate_machine_model`
+runs a battery of analytic checks and returns a report; the CLI tools
+and tests use it, and it is cheap enough to call before any experiment.
+
+Checks
+------
+* **Monotone hierarchy**: latency non-decreasing and bandwidth
+  non-increasing as the sharing level widens along every root-to-leaf
+  cost path actually present in the topology.
+* **Transfer sanity**: moving more bytes never takes less time;
+  transfers between farther PUs never cost less than nearer ones
+  (same byte count).
+* **Contention sanity**: the slowdown factor is ≥ 1 and non-decreasing
+  in the in-flight count.
+* **Scheduler sanity**: migration penalty and quantum are positive and
+  the penalty is small relative to the quantum (a model where migrating
+  costs more CPU than the balancing period is self-defeating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulate.contention import ContentionModel
+from repro.simulate.machine import Machine
+from repro.topology.objects import ObjType
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of the model self-check."""
+
+    problems: list[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def add(self, problem: str) -> None:
+        self.problems.append(problem)
+
+    def __repr__(self) -> str:
+        state = "OK" if self.ok else f"{len(self.problems)} problem(s)"
+        return f"<ValidationReport {self.checks_run} checks: {state}>"
+
+
+#: Sharing levels from narrowest to widest (the order costs must follow).
+_WIDENING = [
+    ObjType.CORE,
+    ObjType.L1,
+    ObjType.L2,
+    ObjType.L3,
+    ObjType.PACKAGE,
+    ObjType.NUMANODE,
+    ObjType.GROUP,
+    ObjType.MACHINE,
+]
+
+
+def validate_machine_model(machine: Machine) -> ValidationReport:
+    """Run all checks against a machine's models; see module docstring."""
+    report = ValidationReport()
+    dm = machine.distances
+
+    # -- monotone hierarchy over levels present in this topology -------
+    present = [t for t in _WIDENING if machine.topo.nbobjs_by_type(t) > 0 or t in (ObjType.MACHINE,)]
+    costs = [dm.level_costs.get(t) for t in present]
+    pairs = [
+        (ta, ca, tb, cb)
+        for (ta, ca), (tb, cb) in zip(
+            [(t, c) for t, c in zip(present, costs) if c is not None][:-1],
+            [(t, c) for t, c in zip(present, costs) if c is not None][1:],
+        )
+    ]
+    for ta, ca, tb, cb in pairs:
+        report.checks_run += 1
+        if cb.latency < ca.latency:
+            report.add(
+                f"latency decreases widening {ta.name} -> {tb.name} "
+                f"({ca.latency:g} -> {cb.latency:g})"
+            )
+        report.checks_run += 1
+        if cb.bandwidth > ca.bandwidth:
+            report.add(
+                f"bandwidth increases widening {ta.name} -> {tb.name} "
+                f"({ca.bandwidth:g} -> {cb.bandwidth:g})"
+            )
+
+    # -- transfer sanity on actual PU pairs ------------------------------
+    n = machine.topo.nb_pus
+    if n >= 2:
+        hops = dm.hop_matrix()
+        sample = range(min(n, 8))
+        for i in sample:
+            for j in sample:
+                if i == j:
+                    continue
+                report.checks_run += 1
+                if dm.transfer_time(i, j, 2 << 20) < dm.transfer_time(i, j, 1 << 20):
+                    report.add(f"more bytes cheaper between PUs {i},{j}")
+        # distance monotonicity: compare a near and a far pair
+        flat = [(int(hops[i, j]), i, j) for i in sample for j in sample if i != j]
+        flat.sort()
+        if flat:
+            _, ni, nj = flat[0]
+            _, fi, fj = flat[-1]
+            report.checks_run += 1
+            if dm.transfer_time(fi, fj, 1 << 20) < dm.transfer_time(ni, nj, 1 << 20):
+                report.add(
+                    f"farther pair ({fi},{fj}) cheaper than nearer ({ni},{nj})"
+                )
+
+    # -- contention sanity --------------------------------------------------
+    cc = machine.contention.config
+    probe = ContentionModel(1, cc)
+    last = 0.0
+    for k in range(0, 64, 8):
+        while probe.node_inflight(0) < k:
+            probe.begin(ObjType.MACHINE, 0)
+        s = probe.slowdown(ObjType.MACHINE, 0)
+        report.checks_run += 1
+        if s < 1.0:
+            report.add(f"contention slowdown {s:g} < 1 at inflight {k}")
+        report.checks_run += 1
+        if s < last:
+            report.add(f"contention slowdown decreases at inflight {k}")
+        last = s
+
+    # -- scheduler sanity ------------------------------------------------------
+    sc = machine.scheduler.config
+    report.checks_run += 1
+    if sc.migration_penalty >= sc.migration_quantum:
+        report.add(
+            "migration penalty >= balancing quantum: migrating costs more "
+            "CPU than the period it optimizes"
+        )
+    return report

@@ -1,0 +1,10 @@
+"""Command-line tools.
+
+Mirrors the utilities the paper's software stack ships:
+
+* ``python -m repro.tools.lstopo`` — render a topology (preset, spec
+  string, JSON file, or the discovered host), like hwloc's lstopo.
+* ``python -m repro.tools.treematch`` — compute a mapping from a
+  communication-matrix file and a topology, like the TreeMatch CLI.
+* ``python -m repro.tools.fig1`` — regenerate the paper's Figure 1 data.
+"""

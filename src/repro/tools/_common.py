@@ -1,0 +1,43 @@
+"""Shared argument handling for the CLI tools."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.topology import presets, serialize
+from repro.topology.builder import from_spec
+from repro.topology.discover import discover
+from repro.topology.tree import Topology
+
+
+def resolve_topology(source: str) -> Topology:
+    """Turn a CLI topology argument into a :class:`Topology`.
+
+    Accepted forms, tried in order:
+
+    * ``host`` — discover the running machine (Linux sysfs);
+    * a preset name (``paper-smp``, ``dual-xeon``, ...);
+    * a path to a JSON file produced by :mod:`repro.topology.serialize`;
+    * an hwloc-style synthetic spec string (``"numa:2 core:4 pu:1"``).
+    """
+    if source == "host":
+        topo = discover()
+        if topo is None:
+            sys.exit("error: host topology not discoverable on this system")
+        return topo
+    if source in presets.PRESETS:
+        return presets.by_name(source)
+    path = Path(source)
+    if path.is_file():
+        if path.suffix.lower() == ".xml":
+            from repro.topology.hwloc_xml import load_hwloc_xml
+
+            return load_hwloc_xml(path)
+        return serialize.load(path)
+    try:
+        return from_spec(source)
+    except Exception as exc:
+        sys.exit(
+            f"error: {source!r} is not a preset, file, or synthetic spec ({exc})"
+        )

@@ -1,0 +1,60 @@
+"""Figure 1 data generator.
+
+Usage::
+
+    python -m repro.tools.fig1                       # default sweep
+    python -m repro.tools.fig1 --cores 8 64 192 --iterations 10
+    python -m repro.tools.fig1 --csv fig1.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+
+from repro.experiments.fig1 import run_fig1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.fig1", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--cores", type=int, nargs="+",
+                        default=[8, 16, 32, 64, 96, 192])
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--n", type=int, default=16384, help="matrix size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--csv", metavar="FILE", help="also write points as CSV")
+    parser.add_argument("--plot", action="store_true", help="ASCII chart of the curves")
+    args = parser.parse_args(argv)
+
+    result = run_fig1(
+        core_counts=tuple(args.cores),
+        iterations=args.iterations,
+        n=args.n,
+        seed=args.seed,
+    )
+    print(result.table())
+    if args.plot:
+        from repro.experiments.plotting import plot_fig1
+
+        print()
+        print(plot_fig1(result))
+
+    if args.csv:
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["implementation", "cores", "sim_time_s", "local_fraction", "migrations"]
+            )
+            for p in result.points:
+                writer.writerow(
+                    [p.implementation, p.n_cores, f"{p.time:.6f}",
+                     f"{p.local_fraction:.4f}", p.migrations]
+                )
+        print(f"\nwrote {len(result.points)} points to {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""hwloc-like hardware topology substrate.
+
+The paper uses HWLOC to obtain "a portable abstraction of the
+architecture".  This package is that abstraction, built synthetically:
+
+* :mod:`~repro.topology.cpuset` — PU index bitmaps (hwloc_bitmap).
+* :mod:`~repro.topology.objects` — typed objects (Machine/NUMANode/
+  Package/L3/L2/L1/Core/PU) with cache and memory attributes.
+* :mod:`~repro.topology.tree` — the finalized, queryable topology tree.
+* :mod:`~repro.topology.builder` — programmatic and spec-string builders.
+* :mod:`~repro.topology.presets` — the paper's 24×8 SMP and friends.
+* :mod:`~repro.topology.distance` — hop/LCA/latency/bandwidth matrices.
+* :mod:`~repro.topology.query` — hwloc-flavoured convenience queries.
+* :mod:`~repro.topology.serialize` — JSON round-trip.
+"""
+
+from repro.topology.cpuset import CpuSet, EMPTY
+from repro.topology.objects import (
+    CacheAttributes,
+    MemoryAttributes,
+    ObjType,
+    TopologyObject,
+)
+from repro.topology.tree import Topology, TopologyError
+from repro.topology.builder import TopologyBuilder, from_spec, flat_topology
+from repro.topology.distance import (
+    DistanceModel,
+    LinkCosts,
+    DEFAULT_LEVEL_COSTS,
+    CLUSTER_LEVEL_COSTS,
+    cluster_distance_model,
+    hop_distance_matrix,
+    lca_depth_matrix,
+)
+from repro.topology.restrict import restrict, restrict_to_objects
+from repro.topology import presets, query, serialize
+
+__all__ = [
+    "CpuSet",
+    "EMPTY",
+    "CacheAttributes",
+    "MemoryAttributes",
+    "ObjType",
+    "TopologyObject",
+    "Topology",
+    "TopologyError",
+    "TopologyBuilder",
+    "from_spec",
+    "flat_topology",
+    "DistanceModel",
+    "LinkCosts",
+    "DEFAULT_LEVEL_COSTS",
+    "CLUSTER_LEVEL_COSTS",
+    "cluster_distance_model",
+    "hop_distance_matrix",
+    "lca_depth_matrix",
+    "restrict",
+    "restrict_to_objects",
+    "presets",
+    "query",
+    "serialize",
+]

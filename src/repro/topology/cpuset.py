@@ -1,0 +1,205 @@
+"""CPU sets: the hwloc_bitmap equivalent.
+
+A :class:`CpuSet` is an immutable set of processing-unit (PU) indices.
+Every topology object carries the cpuset of the PUs below it, and the
+binder expresses placements as cpusets, mirroring how hwloc and
+``sched_setaffinity`` work on real systems.
+
+Internally a Python ``int`` is used as the bit vector, which gives O(1)
+set algebra on arbitrarily wide machines and cheap hashing/equality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+class CpuSet:
+    """An immutable set of PU indices backed by an integer bitmask.
+
+    Supports the usual set algebra (``|``, ``&``, ``-``, ``^``),
+    containment, iteration in increasing index order, and the hwloc-style
+    operations ``first``, ``last``, ``next_set``, ``singlify`` and
+    ``weight`` (popcount).
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, indices: Iterable[int] = ()) -> None:
+        bits = 0
+        for i in indices:
+            if i < 0:
+                raise ValueError(f"PU index must be >= 0, got {i}")
+            bits |= 1 << i
+        self._bits = bits
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_mask(cls, bits: int) -> "CpuSet":
+        """Build from a raw bitmask integer (bit *i* set means PU *i*)."""
+        if bits < 0:
+            raise ValueError("bitmask must be non-negative")
+        cs = cls.__new__(cls)
+        cs._bits = bits
+        return cs
+
+    @classmethod
+    def from_range(cls, start: int, stop: int) -> "CpuSet":
+        """Build the contiguous set ``{start, ..., stop - 1}``."""
+        if start < 0 or stop < start:
+            raise ValueError(f"invalid range [{start}, {stop})")
+        return cls.from_mask(((1 << (stop - start)) - 1) << start)
+
+    @classmethod
+    def singleton(cls, index: int) -> "CpuSet":
+        """Build the one-element set ``{index}``."""
+        if index < 0:
+            raise ValueError(f"PU index must be >= 0, got {index}")
+        return cls.from_mask(1 << index)
+
+    @classmethod
+    def parse(cls, text: str) -> "CpuSet":
+        """Parse a cpuset list string like ``"0-3,8,10-11"``.
+
+        The inverse of :meth:`to_list_string`.  Whitespace is ignored and
+        an empty string parses to the empty set.
+        """
+        bits = 0
+        text = text.strip()
+        if not text:
+            return cls.from_mask(0)
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "-" in part:
+                lo_s, hi_s = part.split("-", 1)
+                lo, hi = int(lo_s), int(hi_s)
+                if hi < lo:
+                    raise ValueError(f"descending range {part!r}")
+                bits |= ((1 << (hi - lo + 1)) - 1) << lo
+            else:
+                bits |= 1 << int(part)
+        return cls.from_mask(bits)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def mask(self) -> int:
+        """The raw bitmask integer."""
+        return self._bits
+
+    def weight(self) -> int:
+        """Number of PUs in the set (popcount)."""
+        return self._bits.bit_count()
+
+    def is_empty(self) -> bool:
+        return self._bits == 0
+
+    def first(self) -> int:
+        """Lowest set index; raises :class:`ValueError` on the empty set."""
+        if self._bits == 0:
+            raise ValueError("first() on empty CpuSet")
+        return (self._bits & -self._bits).bit_length() - 1
+
+    def last(self) -> int:
+        """Highest set index; raises :class:`ValueError` on the empty set."""
+        if self._bits == 0:
+            raise ValueError("last() on empty CpuSet")
+        return self._bits.bit_length() - 1
+
+    def next_set(self, prev: int) -> Optional[int]:
+        """Lowest set index strictly greater than *prev*, or ``None``."""
+        rest = self._bits >> (prev + 1) << (prev + 1) if prev >= 0 else self._bits
+        if rest == 0:
+            return None
+        return (rest & -rest).bit_length() - 1
+
+    def singlify(self) -> "CpuSet":
+        """Reduce to the singleton of the lowest index (hwloc semantics).
+
+        The empty set singlifies to itself.
+        """
+        if self._bits == 0:
+            return self
+        return CpuSet.from_mask(self._bits & -self._bits)
+
+    def isdisjoint(self, other: "CpuSet") -> bool:
+        return (self._bits & other._bits) == 0
+
+    def issubset(self, other: "CpuSet") -> bool:
+        return (self._bits & ~other._bits) == 0
+
+    def issuperset(self, other: "CpuSet") -> bool:
+        return other.issubset(self)
+
+    # -- set algebra ---------------------------------------------------------
+
+    def __or__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet.from_mask(self._bits | other._bits)
+
+    def __and__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet.from_mask(self._bits & other._bits)
+
+    def __sub__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet.from_mask(self._bits & ~other._bits)
+
+    def __xor__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet.from_mask(self._bits ^ other._bits)
+
+    # -- protocol ----------------------------------------------------------
+
+    def __contains__(self, index: int) -> bool:
+        return index >= 0 and bool((self._bits >> index) & 1)
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def __len__(self) -> int:
+        return self.weight()
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CpuSet):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(("CpuSet", self._bits))
+
+    # -- formatting ----------------------------------------------------------
+
+    def to_list_string(self) -> str:
+        """Render as a compact list string like ``"0-3,8,10-11"``."""
+        runs: list[str] = []
+        it = iter(self)
+        try:
+            start = prev = next(it)
+        except StopIteration:
+            return ""
+        for i in it:
+            if i == prev + 1:
+                prev = i
+                continue
+            runs.append(str(start) if start == prev else f"{start}-{prev}")
+            start = prev = i
+        runs.append(str(start) if start == prev else f"{start}-{prev}")
+        return ",".join(runs)
+
+    def to_hex(self) -> str:
+        """Render as hwloc-style hex, e.g. ``"0x0000000f"``."""
+        return f"0x{self._bits:08x}"
+
+    def __repr__(self) -> str:
+        return f"CpuSet({self.to_list_string()!r})"
+
+
+#: The empty cpuset, shared.
+EMPTY = CpuSet.from_mask(0)

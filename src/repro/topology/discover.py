@@ -1,0 +1,134 @@
+"""Topology discovery from the running Linux host.
+
+The paper obtains the machine topology from HWLOC; on a real deployment
+of this library the equivalent is reading the kernel's sysfs topology
+export.  :func:`discover_linux` parses
+``/sys/devices/system/cpu/cpu*/topology`` and the node/cache entries
+into a :class:`~repro.topology.tree.Topology`, so placements computed
+here are directly meaningful for ``os.sched_setaffinity`` on the host.
+
+This is best-effort: machines with asymmetric topologies (different
+core counts per socket, offline CPUs) fall back to the *balanced
+envelope* — the smallest balanced tree containing the observed
+structure — because the mapping algorithm requires a balanced tree
+(hwloc-based TreeMatch deployments do the same symmetrization).  On
+non-Linux hosts :func:`discover` returns ``None``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.objects import ObjType
+from repro.topology.tree import Topology
+
+_SYS_CPU = Path("/sys/devices/system/cpu")
+
+
+def _read_int(path: Path) -> Optional[int]:
+    try:
+        return int(path.read_text().strip())
+    except (OSError, ValueError):
+        return None
+
+
+def _read_list(path: Path) -> Optional[list[int]]:
+    """Parse a kernel cpulist file like ``0-3,8``."""
+    try:
+        text = path.read_text().strip()
+    except OSError:
+        return None
+    if not text:
+        return []
+    out: list[int] = []
+    for part in text.split(","):
+        if "-" in part:
+            lo, hi = part.split("-")
+            out.extend(range(int(lo), int(hi) + 1))
+        else:
+            out.append(int(part))
+    return out
+
+
+def _online_cpus() -> list[int]:
+    cpus = _read_list(_SYS_CPU / "online")
+    if cpus:
+        return cpus
+    # Fallback: enumerate cpu directories.
+    found = []
+    try:
+        for entry in _SYS_CPU.iterdir():
+            name = entry.name
+            if name.startswith("cpu") and name[3:].isdigit():
+                found.append(int(name[3:]))
+    except OSError:
+        pass
+    return sorted(found)
+
+
+def discover_linux() -> Optional[Topology]:
+    """Build the host topology from sysfs; ``None`` if unreadable.
+
+    The result is the *balanced envelope*: ``nodes × packages-per-node ×
+    cores-per-package × threads-per-core`` using the maximum observed
+    count at each level, which always contains the real machine.
+    """
+    cpus = _online_cpus()
+    if not cpus:
+        return None
+
+    # Gather (node, package, core, cpu) tuples.
+    records: list[tuple[int, int, int, int]] = []
+    for cpu in cpus:
+        base = _SYS_CPU / f"cpu{cpu}"
+        pkg = _read_int(base / "topology" / "physical_package_id")
+        core = _read_int(base / "topology" / "core_id")
+        if pkg is None or core is None:
+            pkg = pkg if pkg is not None else 0
+            core = core if core is not None else cpu
+        node = 0
+        try:
+            for entry in base.iterdir():
+                if entry.name.startswith("node") and entry.name[4:].isdigit():
+                    node = int(entry.name[4:])
+                    break
+        except OSError:
+            pass
+        records.append((node, pkg, core, cpu))
+
+    nodes = sorted({r[0] for r in records})
+    pkgs_per_node = max(
+        len({r[1] for r in records if r[0] == n}) for n in nodes
+    )
+    cores_per_pkg = max(
+        len({r[2] for r in records if r[0] == n and r[1] == p})
+        for n in nodes
+        for p in {r[1] for r in records if r[0] == n}
+    )
+    threads_per_core = max(
+        sum(1 for r in records if r[:3] == key)
+        for key in {r[:3] for r in records}
+    )
+
+    builder = (
+        TopologyBuilder(f"host-{os.uname().nodename}")
+        .add_level(ObjType.NUMANODE, len(nodes))
+        .add_level(ObjType.PACKAGE, pkgs_per_node)
+        .add_level(ObjType.L3, 1)
+        .add_level(ObjType.CORE, cores_per_pkg)
+        .add_level(ObjType.PU, threads_per_core)
+    )
+    return builder.build()
+
+
+def discover() -> Optional[Topology]:
+    """Host topology if discoverable (Linux sysfs), else ``None``."""
+    if _SYS_CPU.is_dir():
+        try:
+            return discover_linux()
+        except Exception:
+            return None
+    return None

@@ -1,0 +1,229 @@
+"""Distance, latency, and bandwidth matrices derived from the tree.
+
+The simulator and the mapping-cost metrics both need "how far apart are
+PU *i* and PU *j*".  Three related notions are provided:
+
+* **hop distance** — ``depth(i) + depth(j) - 2 * depth(lca(i, j))``, the
+  tree distance used by TreeMatch's cost analysis;
+* **level distance** — the depth of the lowest common ancestor itself,
+  which indexes the memory-hierarchy level a transfer lands in;
+* **latency / bandwidth matrices** — physical cost numbers attached to
+  each sharing level, the simulator's inputs.
+
+All matrices are indexed by PU *logical* index (0..nb_pus-1), the same
+indexing the mapping uses.  They are computed once per topology with an
+O(P^2) LCA sweep (cheap even for 192 PUs) and cached by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.objects import ObjType, TopologyObject
+from repro.topology.tree import Topology
+
+
+def _ancestor_chain(obj: TopologyObject) -> list[TopologyObject]:
+    chain = [obj]
+    node = obj.parent
+    while node is not None:
+        chain.append(node)
+        node = node.parent
+    chain.reverse()  # root first
+    return chain
+
+
+def lca_depth_matrix(topo: Topology) -> np.ndarray:
+    """Matrix ``L[i, j]`` = depth of the lowest common ancestor of PUs i, j.
+
+    Indexed by PU logical index.  Diagonal holds the PU depth itself.
+    """
+    pus = topo.pus()
+    n = len(pus)
+    chains = [_ancestor_chain(pu) for pu in pus]
+    out = np.zeros((n, n), dtype=np.int64)
+    for i in range(n):
+        out[i, i] = pus[i].depth
+        ci = chains[i]
+        for j in range(i + 1, n):
+            cj = chains[j]
+            d = 0
+            for a, b in zip(ci, cj):
+                if a is b:
+                    d += 1
+                else:
+                    break
+            out[i, j] = out[j, i] = d - 1
+    return out
+
+
+def hop_distance_matrix(topo: Topology) -> np.ndarray:
+    """Tree hop distance between PUs: ``d(i)+d(j)-2*d(lca)``."""
+    lca = lca_depth_matrix(topo)
+    pus = topo.pus()
+    depths = np.array([pu.depth for pu in pus], dtype=np.int64)
+    out = depths[:, None] + depths[None, :] - 2 * lca
+    np.fill_diagonal(out, 0)
+    return out
+
+
+@dataclass
+class LinkCosts:
+    """Physical cost of sharing data at one tree level.
+
+    ``latency`` is the one-way transfer setup cost in seconds and
+    ``bandwidth`` the sustained byte rate for data that must cross this
+    level to get from producer to consumer.
+    """
+
+    latency: float
+    bandwidth: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to move *nbytes* across this level."""
+        if nbytes <= 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Calibrated per-sharing-level costs.  Keys are the *type* of the lowest
+#: common ancestor; values follow published NUMA-era measurements: core-
+#: private cache sharing is nearly free, same-socket L3 sharing costs tens
+#: of ns at ~30 GB/s, same-board DRAM ~100 ns at ~10 GB/s, and remote
+#: sockets on a large SMP pay several-fold more with interconnect hops.
+DEFAULT_LEVEL_COSTS: dict[ObjType, LinkCosts] = {
+    ObjType.CORE: LinkCosts(latency=5e-9, bandwidth=80e9),  # sibling hyperthreads
+    ObjType.L1: LinkCosts(latency=4e-9, bandwidth=100e9),
+    ObjType.L2: LinkCosts(latency=12e-9, bandwidth=60e9),
+    ObjType.L3: LinkCosts(latency=40e-9, bandwidth=30e9),
+    ObjType.PACKAGE: LinkCosts(latency=60e-9, bandwidth=25e9),
+    ObjType.NUMANODE: LinkCosts(latency=100e-9, bandwidth=10e9),
+    ObjType.GROUP: LinkCosts(latency=250e-9, bandwidth=5e9),
+    ObjType.MACHINE: LinkCosts(latency=400e-9, bandwidth=3e9),
+}
+
+#: Costs for *cluster* trees (the ``cluster`` preset): the GROUP level
+#: is a compute node's internal cross-socket link, and the MACHINE root
+#: is the inter-node network (InfiniBand-class: microseconds of latency,
+#: NIC-limited bandwidth).
+CLUSTER_LEVEL_COSTS: dict[ObjType, LinkCosts] = {
+    **DEFAULT_LEVEL_COSTS,
+    ObjType.GROUP: LinkCosts(latency=400e-9, bandwidth=3e9),  # within a node
+    ObjType.MACHINE: LinkCosts(latency=2e-6, bandwidth=1.5e9),  # the network
+}
+
+
+def cluster_distance_model(topo: "Topology") -> "DistanceModel":
+    """A :class:`DistanceModel` using :data:`CLUSTER_LEVEL_COSTS`."""
+    return DistanceModel(topo, level_costs=dict(CLUSTER_LEVEL_COSTS))
+
+
+@dataclass
+class DistanceModel:
+    """Bundles the per-topology distance matrices and physical costs.
+
+    Parameters
+    ----------
+    topo:
+        The finalized topology.
+    level_costs:
+        Mapping from LCA object type to :class:`LinkCosts`; defaults to
+        :data:`DEFAULT_LEVEL_COSTS`.  A type missing from the dict falls
+        back to the MACHINE entry (worst case).
+    """
+
+    topo: Topology
+    level_costs: dict[ObjType, LinkCosts] = field(
+        default_factory=lambda: dict(DEFAULT_LEVEL_COSTS)
+    )
+
+    def __post_init__(self) -> None:
+        self._lca_depth = lca_depth_matrix(self.topo)
+        self._hops = None
+        # Precompute, for each PU pair, the LCA object *type* so cost
+        # lookup is a single table access in the hot path.
+        pus = self.topo.pus()
+        n = len(pus)
+        self._lca_type = np.zeros((n, n), dtype=np.int64)
+        chains = [_ancestor_chain(pu) for pu in pus]
+        for i in range(n):
+            self._lca_type[i, i] = int(ObjType.CORE)  # same PU: core-local
+            for j in range(i + 1, n):
+                lca_obj = None
+                for a, b in zip(chains[i], chains[j]):
+                    if a is b:
+                        lca_obj = a
+                    else:
+                        break
+                assert lca_obj is not None
+                self._lca_type[i, j] = self._lca_type[j, i] = int(lca_obj.type)
+        # os_index -> logical index translation for runtime callers.
+        self._os_to_logical = {pu.os_index: pu.logical_index for pu in pus}
+
+        machine_cost = self.level_costs.get(
+            ObjType.MACHINE, DEFAULT_LEVEL_COSTS[ObjType.MACHINE]
+        )
+        max_type = max(int(t) for t in ObjType)
+        self._lat_table = np.zeros(max_type + 1, dtype=np.float64)
+        self._bw_table = np.full(max_type + 1, machine_cost.bandwidth, dtype=np.float64)
+        for t in ObjType:
+            costs = self.level_costs.get(t, machine_cost)
+            self._lat_table[int(t)] = costs.latency
+            self._bw_table[int(t)] = costs.bandwidth
+
+    # -- lookups (hot path: called per halo exchange in the simulator) ------
+
+    def logical_of_os(self, os_index: int) -> int:
+        """Translate a PU os_index to its logical index."""
+        try:
+            return self._os_to_logical[os_index]
+        except KeyError:
+            raise KeyError(f"no PU with os_index {os_index}") from None
+
+    def lca_type(self, pu_i: int, pu_j: int) -> ObjType:
+        """Sharing level (object type of the LCA) between two logical PUs."""
+        return ObjType(int(self._lca_type[pu_i, pu_j]))
+
+    def transfer_time(self, pu_i: int, pu_j: int, nbytes: float) -> float:
+        """Time for PU *pu_j* to consume *nbytes* produced on PU *pu_i*.
+
+        Indexed by logical PU index; same-PU transfers cost only the
+        core-level latency (warm cache).
+        """
+        t = self._lca_type[pu_i, pu_j]
+        if nbytes <= 0:
+            return 0.0
+        return float(self._lat_table[t] + nbytes / self._bw_table[t])
+
+    def latency(self, pu_i: int, pu_j: int) -> float:
+        return float(self._lat_table[self._lca_type[pu_i, pu_j]])
+
+    def bandwidth(self, pu_i: int, pu_j: int) -> float:
+        return float(self._bw_table[self._lca_type[pu_i, pu_j]])
+
+    # -- matrices ---------------------------------------------------------
+
+    @property
+    def lca_depths(self) -> np.ndarray:
+        """The PU × PU LCA-depth matrix (read-only view)."""
+        v = self._lca_depth.view()
+        v.flags.writeable = False
+        return v
+
+    def hop_matrix(self) -> np.ndarray:
+        """The PU × PU hop-distance matrix (computed lazily, cached)."""
+        if self._hops is None:
+            self._hops = hop_distance_matrix(self.topo)
+        v = self._hops.view()
+        v.flags.writeable = False
+        return v
+
+    def latency_matrix(self) -> np.ndarray:
+        """PU × PU matrix of pairwise latencies in seconds."""
+        return self._lat_table[self._lca_type]
+
+    def bandwidth_matrix(self) -> np.ndarray:
+        """PU × PU matrix of pairwise bandwidths in bytes/second."""
+        return self._bw_table[self._lca_type]

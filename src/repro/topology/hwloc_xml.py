@@ -1,0 +1,228 @@
+"""Import of hwloc XML exports (``lstopo --of xml``).
+
+Lets the library consume topologies of *real* machines: run
+``lstopo --of xml > machine.xml`` anywhere hwloc is installed and feed
+the file to :func:`load_hwloc_xml` (or any CLI tool's topology
+argument — the resolver tries this format for ``.xml`` paths).
+
+The supported subset covers what the placement stack consumes: the
+object hierarchy (Machine / Group / NUMANode / Package / L3–L1 caches /
+Core / PU), ``os_index``, cache sizes/line sizes, and NUMA local
+memory.  Both the v1 layout (NUMANode as a tree level) and the v2
+layout (memory children attached to a parent) are handled; v2 memory
+children are folded back into a tree level so the result is a regular
+:class:`~repro.topology.tree.Topology`.
+
+Irregular real machines may violate this library's balanced-tree
+requirement for *mapping* (arities must be uniform per level); loading
+still succeeds — only `Topology.arities()` (and thus TreeMatch) will
+refuse, with a clear error.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.topology.objects import (
+    CacheAttributes,
+    MemoryAttributes,
+    ObjType,
+    TopologyObject,
+)
+from repro.topology.tree import Topology, TopologyError
+
+#: hwloc object-type strings → our types.  Cache depth is disambiguated
+#: via the ``depth`` attribute for v1 ("Cache") and the explicit
+#: L1/L2/L3 types of v2.
+_TYPE_MAP = {
+    "Machine": ObjType.MACHINE,
+    "Group": ObjType.GROUP,
+    "NUMANode": ObjType.NUMANODE,
+    "Package": ObjType.PACKAGE,
+    "Socket": ObjType.PACKAGE,  # hwloc < 1.11 naming
+    "L3Cache": ObjType.L3,
+    "L2Cache": ObjType.L2,
+    "L1Cache": ObjType.L1,
+    "Core": ObjType.CORE,
+    "PU": ObjType.PU,
+}
+
+#: hwloc types we silently flatten (children promoted to the parent).
+_SKIP_TYPES = {
+    "Bridge", "PCIDev", "OSDev", "Misc", "L1iCache", "L2iCache",
+    "L3iCache", "Die", "MemCache",
+}
+
+
+def _cache_type(elem: ET.Element) -> Optional[ObjType]:
+    t = elem.get("type", "")
+    if t in ("L3Cache", "L2Cache", "L1Cache"):
+        return _TYPE_MAP[t]
+    if t == "Cache":  # v1: depth attribute tells the level
+        depth = elem.get("depth", "")
+        return {"3": ObjType.L3, "2": ObjType.L2, "1": ObjType.L1}.get(depth)
+    return None
+
+
+def _attrs_of(elem: ET.Element, type_: ObjType) -> tuple[Optional[CacheAttributes], Optional[MemoryAttributes]]:
+    cache = None
+    memory = None
+    if type_.is_cache:
+        size = int(elem.get("cache_size", 0) or 0)
+        line = int(elem.get("cache_linesize", 64) or 64)
+        if size > 0:
+            cache = CacheAttributes(size=size, line_size=line or 64)
+    if type_ is ObjType.NUMANODE:
+        local = int(elem.get("local_memory", 0) or 0)
+        memory = MemoryAttributes(local_bytes=local)
+    return cache, memory
+
+
+def _convert(elem: ET.Element) -> Optional[TopologyObject]:
+    """Convert one hwloc <object> element (recursively)."""
+    hw_type = elem.get("type", "")
+    if hw_type in _SKIP_TYPES or (
+        hw_type == "Cache" and _cache_type(elem) is None
+    ):
+        # Flatten: splice the children into the parent.  Represented by
+        # returning a transparent marker handled by the caller; easier:
+        # recurse and return a pseudo-list via exception-free protocol.
+        children = _convert_children(elem)
+        if len(children) == 1:
+            return children[0]
+        if not children:
+            return None
+        # Multiple children under a skipped node: wrap in a GROUP so the
+        # tree stays well-formed.
+        group = TopologyObject(ObjType.GROUP)
+        for c in children:
+            group.add_child(c)
+        return group
+
+    type_ = _cache_type(elem) if hw_type == "Cache" else _TYPE_MAP.get(hw_type)
+    if type_ is None:
+        return None
+    os_index_s = elem.get("os_index")
+    os_index = int(os_index_s) if os_index_s is not None else None
+    cache, memory = _attrs_of(elem, type_)
+    obj = TopologyObject(type_, os_index=os_index, cache=cache, memory=memory)
+    for child in _convert_children(elem):
+        # Raw attach: hwloc v2 legitimately nests NUMANode *inside*
+        # Package (as a memory child), which add_child would refuse
+        # under our containment order.  _fold_v2_memory re-normalizes
+        # before Topology() validates the final tree.
+        child.parent = obj
+        obj.children.append(child)
+    return obj
+
+
+def _convert_children(elem: ET.Element) -> list[TopologyObject]:
+    out = []
+    for child in elem:
+        if child.tag != "object":
+            continue
+        converted = _convert(child)
+        if converted is not None:
+            out.append(converted)
+    return out
+
+
+def _fold_v2_memory(obj: TopologyObject) -> None:
+    """hwloc v2 attaches NUMANodes as leaf memory children of e.g. a
+    Package; hoist such a NUMANode *above* its parent so it becomes a
+    proper tree level (our containment order is NUMANode ⊃ Package).
+
+    Pattern per child: ``X(..., NUMANode-leaf, ...)`` becomes
+    ``NUMANode(X(...))`` in X's place.
+    """
+    for k, child in enumerate(list(obj.children)):
+        _fold_v2_memory(child)
+        numa_leaves = [
+            c for c in child.children if c.type is ObjType.NUMANODE and not c.children
+        ]
+        if len(numa_leaves) == 1 and len(child.children) > 1:
+            numa = numa_leaves[0]
+            child.children.remove(numa)
+            # Splice: parent -> numa -> child (field surgery; add_child
+            # would refuse nodes that already have parents).
+            numa.parent = obj
+            child.parent = numa
+            numa.children = [child]
+            obj.children[k] = numa
+
+
+def parse_hwloc_xml(text: str, name: str = "") -> Topology:
+    """Parse an hwloc XML document string."""
+    try:
+        root_elem = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise TopologyError(f"not valid XML: {exc}") from None
+    if root_elem.tag != "topology":
+        raise TopologyError(f"not an hwloc XML export (root <{root_elem.tag}>)")
+    machine_elem = root_elem.find("object")
+    if machine_elem is None or machine_elem.get("type") != "Machine":
+        raise TopologyError("hwloc XML has no Machine object")
+    machine = _convert(machine_elem)
+    if machine is None or machine.type is not ObjType.MACHINE:
+        raise TopologyError("could not convert the Machine object")
+    _fold_v2_memory(machine)
+    return Topology(machine, name=name or "hwloc-import")
+
+
+def load_hwloc_xml(path: Union[str, Path]) -> Topology:
+    """Load a ``lstopo --of xml`` file."""
+    p = Path(path)
+    return parse_hwloc_xml(p.read_text(encoding="utf-8"), name=p.stem)
+
+
+# ---------------------------------------------------------------------------
+# Export (v1 layout: every level is a tree level, caches carry depth)
+# ---------------------------------------------------------------------------
+
+_EXPORT_TYPE = {
+    ObjType.MACHINE: "Machine",
+    ObjType.GROUP: "Group",
+    ObjType.NUMANODE: "NUMANode",
+    ObjType.PACKAGE: "Package",
+    ObjType.CORE: "Core",
+    ObjType.PU: "PU",
+}
+
+_CACHE_DEPTH = {ObjType.L3: "3", ObjType.L2: "2", ObjType.L1: "1"}
+
+
+def _export_obj(obj: TopologyObject, parent: ET.Element) -> None:
+    if obj.type.is_cache:
+        elem = ET.SubElement(parent, "object", type="Cache",
+                             depth=_CACHE_DEPTH[obj.type])
+        if obj.cache is not None:
+            elem.set("cache_size", str(obj.cache.size))
+            elem.set("cache_linesize", str(obj.cache.line_size))
+    else:
+        elem = ET.SubElement(parent, "object", type=_EXPORT_TYPE[obj.type])
+        if obj.os_index is not None:
+            elem.set("os_index", str(obj.os_index))
+        if obj.memory is not None:
+            elem.set("local_memory", str(obj.memory.local_bytes))
+    for child in obj.children:
+        _export_obj(child, elem)
+
+
+def to_hwloc_xml(topo: Topology) -> str:
+    """Export a topology as hwloc v1-style XML.
+
+    Round-trips through :func:`parse_hwloc_xml`, and the output is
+    readable by hwloc's own tools, so synthetic machines built here can
+    be inspected with a real ``lstopo -i machine.xml``.
+    """
+    root = ET.Element("topology")
+    _export_obj(topo.root, root)
+    ET.indent(root)
+    return '<?xml version="1.0"?>\n' + ET.tostring(root, encoding="unicode") + "\n"
+
+
+def save_hwloc_xml(topo: Topology, path: Union[str, Path]) -> None:
+    """Write :func:`to_hwloc_xml` output to *path*."""
+    Path(path).write_text(to_hwloc_xml(topo), encoding="utf-8")

@@ -1,0 +1,146 @@
+"""Preset topologies used across examples, tests and benchmarks.
+
+The headline machine is :func:`paper_smp`, the 24-socket × 8-core,
+192-core SMP the paper's Fig. 1 ran on (an SGI UV-class machine at the
+time).  The other presets exercise hyperthreading, shallow NUMA, and
+flat trees for the control-thread and oversubscription extensions.
+"""
+
+from __future__ import annotations
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.objects import CacheAttributes, MemoryAttributes, ObjType
+from repro.topology.tree import Topology
+
+
+def paper_smp(sockets: int = 24, cores_per_socket: int = 8) -> Topology:
+    """The paper's evaluation machine: 24 sockets × 8 cores = 192 PUs.
+
+    Modeled as one NUMA node per socket (standard for that class of SMP)
+    with a shared L3 per socket and private L2/L1 per core, no
+    hyperthreading.
+    """
+    return (
+        TopologyBuilder(f"paper-smp-{sockets}x{cores_per_socket}")
+        .add_level(
+            ObjType.NUMANODE,
+            sockets,
+            memory=MemoryAttributes(local_bytes=32 << 30, latency=90e-9, bandwidth=40e9),
+        )
+        .add_level(ObjType.PACKAGE, 1)
+        .add_level(
+            ObjType.L3, 1, cache=CacheAttributes(size=20 << 20, latency=12e-9)
+        )
+        .add_level(ObjType.CORE, cores_per_socket)
+        .add_level(ObjType.PU, 1)
+        .build()
+    )
+
+
+def dual_xeon(cores_per_socket: int = 12, hyperthreads: int = 2) -> Topology:
+    """A common dual-socket Xeon workstation: 2 × 12 cores × 2 HT = 48 PUs."""
+    return (
+        TopologyBuilder(f"dual-xeon-2x{cores_per_socket}x{hyperthreads}")
+        .add_level(ObjType.NUMANODE, 2)
+        .add_level(ObjType.PACKAGE, 1)
+        .add_level(ObjType.L3, 1, cache=CacheAttributes(size=30 << 20, latency=14e-9))
+        .add_level(ObjType.CORE, cores_per_socket)
+        .add_level(ObjType.PU, hyperthreads)
+        .build()
+    )
+
+
+def hyperthreaded_smp(sockets: int = 4, cores_per_socket: int = 8) -> Topology:
+    """A hyperthreaded SMP: each core carries 2 PUs.
+
+    Exercises the paper's control-thread rule "if hyperthreading is
+    available, on each physical core we reserve one hyperthread for
+    control and one for computation."
+    """
+    return (
+        TopologyBuilder(f"ht-smp-{sockets}x{cores_per_socket}x2")
+        .add_level(ObjType.NUMANODE, sockets)
+        .add_level(ObjType.PACKAGE, 1)
+        .add_level(ObjType.L3, 1)
+        .add_level(ObjType.CORE, cores_per_socket)
+        .add_level(ObjType.PU, 2)
+        .build()
+    )
+
+
+def small_numa(nodes: int = 2, cores: int = 4) -> Topology:
+    """A small NUMA box (default 2 nodes × 4 cores) for fast unit tests."""
+    return (
+        TopologyBuilder(f"small-numa-{nodes}x{cores}")
+        .add_level(ObjType.NUMANODE, nodes)
+        .add_level(ObjType.PACKAGE, 1)
+        .add_level(ObjType.L3, 1)
+        .add_level(ObjType.CORE, cores)
+        .add_level(ObjType.PU, 1)
+        .build()
+    )
+
+
+def deep_hierarchy() -> Topology:
+    """A deliberately deep tree (NUMA > package > L3 > L2 > core > 2 PU).
+
+    Exercises grouping across many levels of Algorithm 1.
+    """
+    return (
+        TopologyBuilder("deep-hierarchy")
+        .add_level(ObjType.NUMANODE, 2)
+        .add_level(ObjType.PACKAGE, 2)
+        .add_level(ObjType.L3, 1)
+        .add_level(ObjType.L2, 2)
+        .add_level(ObjType.CORE, 2)
+        .add_level(ObjType.PU, 2)
+        .build()
+    )
+
+
+def cluster(
+    nodes: int = 4,
+    sockets_per_node: int = 2,
+    cores_per_socket: int = 8,
+) -> Topology:
+    """A small cluster: *nodes* machines joined by a network.
+
+    The ORWL model is distributed by design; this preset represents a
+    cluster as one tree with a GROUP level per compute node, so the
+    same mapping algorithm places tasks across machines (network-level
+    costs come from the GROUP entry of the distance model — microsecond
+    latency, NIC-class bandwidth).  Used by the cluster extension
+    experiments.
+    """
+    return (
+        TopologyBuilder(f"cluster-{nodes}x{sockets_per_node}x{cores_per_socket}")
+        .add_level(ObjType.GROUP, nodes)
+        .add_level(ObjType.NUMANODE, sockets_per_node)
+        .add_level(ObjType.PACKAGE, 1)
+        .add_level(ObjType.L3, 1)
+        .add_level(ObjType.CORE, cores_per_socket)
+        .add_level(ObjType.PU, 1)
+        .build()
+    )
+
+
+#: Name → factory, used by the CLI-ish example scripts.
+PRESETS = {
+    "paper-smp": paper_smp,
+    "dual-xeon": dual_xeon,
+    "ht-smp": hyperthreaded_smp,
+    "small-numa": small_numa,
+    "deep": deep_hierarchy,
+    "cluster": cluster,
+}
+
+
+def by_name(name: str) -> Topology:
+    """Look up and build a preset topology by registry name."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {', '.join(sorted(PRESETS))}"
+        ) from None
+    return factory()

@@ -1,0 +1,138 @@
+"""hwloc-style convenience queries over a :class:`Topology`.
+
+These free functions mirror the parts of the hwloc C API that the
+placement module and user code rely on (``hwloc_get_nbobjs_by_type``,
+``hwloc_get_obj_inside_cpuset_by_type``, ``hwloc_get_closest_objs``,
+singlified binding sets, ...).  They are thin, well-tested wrappers over
+:class:`~repro.topology.tree.Topology` methods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.topology.cpuset import CpuSet
+from repro.topology.distance import hop_distance_matrix
+from repro.topology.objects import ObjType, TopologyObject
+from repro.topology.tree import Topology, TopologyError
+
+
+def get_nbobjs_by_type(topo: Topology, type_: ObjType) -> int:
+    """Number of objects of *type_* (0 if the level is absent)."""
+    return topo.nbobjs_by_type(type_)
+
+
+def get_obj_by_type(topo: Topology, type_: ObjType, index: int) -> TopologyObject:
+    """The *index*-th object of *type_* in logical order."""
+    objs = topo.objects_by_type(type_)
+    if not 0 <= index < len(objs):
+        raise TopologyError(
+            f"no {type_.name} with logical index {index} (have {len(objs)})"
+        )
+    return objs[index]
+
+def get_objs_inside_cpuset_by_type(
+    topo: Topology, cpuset: CpuSet, type_: ObjType
+) -> list[TopologyObject]:
+    """Objects of *type_* entirely contained in *cpuset*."""
+    return topo.objects_inside(cpuset, type_)
+
+
+def get_first_largest_objs_inside_cpuset(
+    topo: Topology, cpuset: CpuSet
+) -> list[TopologyObject]:
+    """Greedy cover of *cpuset* by maximal topology objects.
+
+    The hwloc ``hwloc_get_first_largest_obj_inside_cpuset`` iteration:
+    repeatedly take the largest object whose cpuset fits in the remainder.
+    Useful for describing an arbitrary binding set compactly.
+    """
+    result: list[TopologyObject] = []
+    remaining = cpuset & topo.cpuset
+    while remaining:
+        best: Optional[TopologyObject] = None
+        for obj in topo:
+            if obj.cpuset and obj.cpuset.issubset(remaining):
+                if best is None or obj.cpuset.weight() > best.cpuset.weight():
+                    best = obj
+        if best is None:  # pragma: no cover - cpuset always contains PUs
+            break
+        result.append(best)
+        remaining = remaining - best.cpuset
+    return result
+
+
+def get_closest_pus(
+    topo: Topology, pu: TopologyObject, n: Optional[int] = None
+) -> list[TopologyObject]:
+    """PUs sorted by increasing hop distance from *pu* (excluding itself).
+
+    Ties are broken by logical index, so the order is deterministic.
+    """
+    if pu.type is not ObjType.PU:
+        raise TopologyError(f"expected a PU, got {pu.type.name}")
+    hops = hop_distance_matrix(topo)
+    i = pu.logical_index
+    order = sorted(
+        (j for j in range(topo.nb_pus) if j != i),
+        key=lambda j: (int(hops[i, j]), j),
+    )
+    pus = topo.pus()
+    out = [pus[j] for j in order]
+    return out if n is None else out[:n]
+
+
+def cpuset_of_numa_node(topo: Topology, numa_index: int) -> CpuSet:
+    """The cpuset of NUMA node *numa_index* (logical order)."""
+    return get_obj_by_type(topo, ObjType.NUMANODE, numa_index).cpuset
+
+
+def distribute(topo: Topology, n: int) -> list[TopologyObject]:
+    """Spread *n* slots over the machine (hwloc_distrib equivalent).
+
+    Returns *n* PUs chosen to maximize spread: the tree is descended and
+    slots are split proportionally between children at each level.  For
+    ``n >= nb_pus`` the PUs are returned round-robin.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    pus = list(topo.pus())
+    if n >= len(pus):
+        return [pus[i % len(pus)] for i in range(n)]
+
+    out: list[TopologyObject] = []
+
+    def spread(obj: TopologyObject, k: int) -> None:
+        if k == 0:
+            return
+        if obj.type is ObjType.PU or not obj.children:
+            # All k slots land on this PU's subtree head.
+            head = next(obj.pus())
+            out.extend([head] * k)
+            return
+        weights = [sum(1 for _ in c.pus()) for c in obj.children]
+        total = sum(weights)
+        # Largest-remainder apportionment of k slots among children.
+        quotas = [k * w / total for w in weights]
+        base = [int(q) for q in quotas]
+        rem = k - sum(base)
+        order = sorted(
+            range(len(quotas)), key=lambda i: (quotas[i] - base[i], -weights[i]),
+            reverse=True,
+        )
+        for i in order[:rem]:
+            base[i] += 1
+        for child, share in zip(obj.children, base):
+            spread(child, share)
+
+    spread(topo.root, n)
+    return out
+
+
+def summarize(topo: Topology) -> dict[str, int]:
+    """Counts per object type, e.g. ``{"NUMANODE": 24, "CORE": 192, ...}``."""
+    return {
+        t.name: topo.nbobjs_by_type(t)
+        for t in ObjType
+        if topo.nbobjs_by_type(t) > 0
+    }

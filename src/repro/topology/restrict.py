@@ -1,0 +1,82 @@
+"""Topology restriction: hwloc's ``hwloc_topology_restrict``.
+
+Produces a new :class:`~repro.topology.tree.Topology` containing only
+the PUs of a given cpuset, dropping emptied internal objects.  This is
+how real deployments express "run on sockets 0–3 of the big machine":
+the experiments' core-count sweeps and the ``allowed`` placement
+constraint both build on it.
+
+Restriction preserves PU ``os_index`` values, so a mapping computed on
+the restricted topology is directly valid on the full machine.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+from repro.topology.cpuset import CpuSet
+from repro.topology.objects import ObjType, TopologyObject
+from repro.topology.tree import Topology, TopologyError
+
+
+def _clone_filtered(obj: TopologyObject, keep: CpuSet) -> Optional[TopologyObject]:
+    """Deep-copy the subtree of *obj* keeping only PUs inside *keep*."""
+    if obj.type is ObjType.PU:
+        assert obj.os_index is not None
+        if obj.os_index not in keep:
+            return None
+        clone = TopologyObject(
+            obj.type, os_index=obj.os_index, name=obj.name,
+            cache=copy.deepcopy(obj.cache), memory=copy.deepcopy(obj.memory),
+        )
+        return clone
+    children = []
+    for child in obj.children:
+        cc = _clone_filtered(child, keep)
+        if cc is not None:
+            children.append(cc)
+    if not children:
+        return None
+    clone = TopologyObject(
+        obj.type, os_index=obj.os_index, name=obj.name,
+        cache=copy.deepcopy(obj.cache), memory=copy.deepcopy(obj.memory),
+    )
+    for cc in children:
+        clone.add_child(cc)
+    return clone
+
+
+def restrict(topo: Topology, cpuset: CpuSet, name: str = "") -> Topology:
+    """A new topology containing only the PUs of *cpuset*.
+
+    Raises :class:`TopologyError` if the intersection with the machine
+    is empty.  Note the result must still be *balanced* to feed the
+    mapping algorithm (restrict whole objects — nodes, packages, cores —
+    for that; :func:`restrict_to_objects` helps).
+    """
+    keep = cpuset & topo.cpuset
+    if keep.is_empty():
+        raise TopologyError("restriction cpuset does not intersect the machine")
+    root = _clone_filtered(topo.root, keep)
+    assert root is not None
+    return Topology(root, name=name or f"{topo.name}:restricted")
+
+
+def restrict_to_objects(
+    topo: Topology, type_: ObjType, count: int, name: str = ""
+) -> Topology:
+    """Keep the first *count* objects of *type_* (logical order).
+
+    The balanced way to shrink a machine: e.g. ``restrict_to_objects(t,
+    ObjType.NUMANODE, 4)`` is "the first four sockets of the SMP".
+    """
+    objs = topo.objects_by_type(type_)
+    if count <= 0 or count > len(objs):
+        raise TopologyError(
+            f"cannot keep {count} of {len(objs)} {type_.name} objects"
+        )
+    keep = CpuSet()
+    for obj in objs[:count]:
+        keep = keep | obj.cpuset
+    return restrict(topo, keep, name=name or f"{topo.name}:{count}x{type_.name}")

@@ -1,0 +1,116 @@
+"""Topology serialization: JSON round-trip (hwloc-XML-like).
+
+hwloc exports topologies to XML so tools can analyze machines offline;
+we provide the equivalent with JSON.  The format is a direct nested dump
+of the object tree with attributes, versioned for forward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.topology.objects import (
+    CacheAttributes,
+    MemoryAttributes,
+    ObjType,
+    TopologyObject,
+)
+from repro.topology.tree import Topology, TopologyError
+
+FORMAT_VERSION = 1
+
+
+def _obj_to_dict(obj: TopologyObject) -> dict[str, Any]:
+    d: dict[str, Any] = {"type": obj.type.name}
+    if obj.os_index is not None:
+        d["os_index"] = obj.os_index
+    if obj.name:
+        d["name"] = obj.name
+    if obj.cache is not None:
+        d["cache"] = {
+            "size": obj.cache.size,
+            "line_size": obj.cache.line_size,
+            "associativity": obj.cache.associativity,
+            "latency": obj.cache.latency,
+        }
+    if obj.memory is not None:
+        d["memory"] = {
+            "local_bytes": obj.memory.local_bytes,
+            "latency": obj.memory.latency,
+            "bandwidth": obj.memory.bandwidth,
+        }
+    if obj.children:
+        d["children"] = [_obj_to_dict(c) for c in obj.children]
+    return d
+
+
+def _obj_from_dict(d: dict[str, Any]) -> TopologyObject:
+    try:
+        type_ = ObjType[d["type"]]
+    except KeyError:
+        raise TopologyError(f"unknown object type {d.get('type')!r}") from None
+    obj = TopologyObject(
+        type_,
+        os_index=d.get("os_index"),
+        name=d.get("name", ""),
+    )
+    if "cache" in d:
+        c = d["cache"]
+        obj.cache = CacheAttributes(
+            size=c["size"],
+            line_size=c.get("line_size", 64),
+            associativity=c.get("associativity", 8),
+            latency=c.get("latency", 0.0),
+        )
+    if "memory" in d:
+        m = d["memory"]
+        obj.memory = MemoryAttributes(
+            local_bytes=m["local_bytes"],
+            latency=m.get("latency", 0.0),
+            bandwidth=m.get("bandwidth", 0.0),
+        )
+    for child_d in d.get("children", ()):
+        obj.add_child(_obj_from_dict(child_d))
+    return obj
+
+
+def to_dict(topo: Topology) -> dict[str, Any]:
+    """Serialize a topology to a JSON-safe dict."""
+    return {
+        "format": "repro-topology",
+        "version": FORMAT_VERSION,
+        "name": topo.name,
+        "root": _obj_to_dict(topo.root),
+    }
+
+
+def from_dict(d: dict[str, Any]) -> Topology:
+    """Rebuild a topology from :func:`to_dict` output."""
+    if d.get("format") != "repro-topology":
+        raise TopologyError(f"not a repro-topology document: format={d.get('format')!r}")
+    if d.get("version", 0) > FORMAT_VERSION:
+        raise TopologyError(f"unsupported format version {d.get('version')}")
+    root = _obj_from_dict(d["root"])
+    return Topology(root, name=d.get("name", ""))
+
+
+def dumps(topo: Topology, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(to_dict(topo), indent=indent)
+
+
+def loads(text: str) -> Topology:
+    """Deserialize from a JSON string."""
+    return from_dict(json.loads(text))
+
+
+def save(topo: Topology, path: Union[str, Path]) -> None:
+    """Write the topology to *path* as JSON."""
+    Path(path).write_text(dumps(topo), encoding="utf-8")
+
+
+def load(path: Union[str, Path]) -> Topology:
+    """Read a topology from a JSON file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

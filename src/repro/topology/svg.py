@@ -1,0 +1,148 @@
+"""SVG rendering of topologies (lstopo-style nested boxes).
+
+Produces a standalone SVG document: each topology object is a rounded
+box containing its children, colour-coded by type the way hwloc's
+lstopo output is.  No dependency beyond string formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.topology.objects import ObjType, TopologyObject
+from repro.topology.tree import Topology
+
+#: Fill colours per object type (hwloc-inspired palette).
+_COLORS: dict[ObjType, str] = {
+    ObjType.MACHINE: "#e8e8e8",
+    ObjType.GROUP: "#f2f2d8",
+    ObjType.NUMANODE: "#fdeea2",
+    ObjType.PACKAGE: "#d9d9d9",
+    ObjType.L3: "#ffffff",
+    ObjType.L2: "#ffffff",
+    ObjType.L1: "#ffffff",
+    ObjType.CORE: "#bbddbb",
+    ObjType.PU: "#8fd0e8",
+}
+
+_PAD = 6  # inner padding per nesting level
+_LABEL_H = 16  # label strip height
+_PU_W, _PU_H = 44, 28  # leaf box size
+_GAP = 4  # gap between siblings
+
+
+@dataclass
+class _Box:
+    obj: TopologyObject
+    w: float
+    h: float
+    children: list["_Box"]
+
+
+def _measure(obj: TopologyObject) -> _Box:
+    if obj.type is ObjType.PU:
+        return _Box(obj, _PU_W, _PU_H, [])
+    kids = [_measure(c) for c in obj.children]
+    inner_w = sum(k.w for k in kids) + _GAP * (len(kids) - 1)
+    inner_h = max(k.h for k in kids)
+    return _Box(
+        obj,
+        inner_w + 2 * _PAD,
+        inner_h + _LABEL_H + 2 * _PAD,
+        kids,
+    )
+
+
+def _label(obj: TopologyObject) -> str:
+    base = obj.type_label()
+    if obj.cache is not None:
+        kib = obj.cache.size // 1024
+        return f"{base} ({kib // 1024} MiB)" if kib >= 1024 else f"{base} ({kib} KiB)"
+    if obj.memory is not None:
+        return f"{base} ({obj.memory.local_bytes >> 30} GiB)"
+    return base
+
+
+#: Colour ramp for mapped PUs, by thread count (1, 2, 3, 4+).
+_LOAD_COLORS = ("#7bc87b", "#e8c860", "#e8915f", "#d95f5f")
+
+
+def _emit(
+    box: _Box,
+    x: float,
+    y: float,
+    out: list[str],
+    load: Optional[dict[int, int]] = None,
+) -> None:
+    color = _COLORS.get(box.obj.type, "#ffffff")
+    if (
+        box.obj.type is ObjType.PU
+        and load is not None
+        and load.get(box.obj.os_index, 0) > 0
+    ):
+        color = _LOAD_COLORS[min(load[box.obj.os_index], len(_LOAD_COLORS)) - 1]
+    out.append(
+        f'<rect x="{x:.1f}" y="{y:.1f}" width="{box.w:.1f}" height="{box.h:.1f}" '
+        f'rx="3" fill="{color}" stroke="#555" stroke-width="1"/>'
+    )
+    if box.obj.type is ObjType.PU:
+        label = f"PU#{box.obj.os_index}"
+        if load is not None and load.get(box.obj.os_index, 0) > 1:
+            label += f" x{load[box.obj.os_index]}"
+        out.append(
+            f'<text x="{x + box.w / 2:.1f}" y="{y + box.h / 2 + 4:.1f}" '
+            f'text-anchor="middle" font-size="10" font-family="sans-serif">'
+            f"{label}</text>"
+        )
+        return
+    out.append(
+        f'<text x="{x + _PAD:.1f}" y="{y + _LABEL_H - 4:.1f}" '
+        f'font-size="10" font-family="sans-serif">{_label(box.obj)}</text>'
+    )
+    cx = x + _PAD
+    cy = y + _LABEL_H + _PAD
+    for kid in box.children:
+        _emit(kid, cx, cy, out, load)
+        cx += kid.w + _GAP
+
+
+def to_svg(topo: Topology, title: Optional[str] = None, mapping=None) -> str:
+    """Render *topo* as a standalone SVG document string.
+
+    With *mapping* (a :class:`repro.treematch.mapping.Mapping`), PUs
+    hosting threads are coloured by their load (green = 1 thread,
+    through red = 4+), and oversubscribed PUs show the count — a visual
+    placement report.
+    """
+    load: Optional[dict[int, int]] = None
+    if mapping is not None:
+        load = dict(mapping.occupancy())
+    root = _measure(topo.root)
+    title_h = 18 if title else 0
+    width = root.w + 2 * _PAD
+    height = root.h + 2 * _PAD + title_h
+    out: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    if title:
+        out.append(
+            f'<text x="{_PAD}" y="13" font-size="12" font-weight="bold" '
+            f'font-family="sans-serif">{title}</text>'
+        )
+    _emit(root, _PAD, _PAD + title_h, out, load)
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def save_svg(
+    topo: Topology, path: str, title: Optional[str] = None, mapping=None
+) -> None:
+    """Write :func:`to_svg` output to *path*."""
+    from pathlib import Path
+
+    Path(path).write_text(
+        to_svg(topo, title=title or topo.name, mapping=mapping), encoding="utf-8"
+    )

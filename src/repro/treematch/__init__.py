@@ -1,0 +1,41 @@
+"""The adapted TreeMatch mapping algorithm (the paper's Algorithm 1).
+
+Pipeline: a communication matrix (from :mod:`repro.comm`) plus a
+topology (from :mod:`repro.topology`) go in; a thread → PU
+:class:`~repro.treematch.mapping.Mapping` comes out.
+
+* :mod:`~repro.treematch.grouping` — ``GroupProcesses`` (exact + greedy).
+* :mod:`~repro.treematch.oversubscription` — virtual-level insertion
+  when tasks outnumber PUs (paper extension #1).
+* :mod:`~repro.treematch.control` — ORWL control-thread strategies
+  (paper extension #2).
+* :mod:`~repro.treematch.algorithm` — Algorithm 1 itself.
+* :mod:`~repro.treematch.mapping` — the result object and ``MapGroups``.
+* :mod:`~repro.treematch.cost` — hop-bytes / NUMA-cut / cache-share
+  quality metrics.
+"""
+
+from repro.treematch.algorithm import TreeMatchResult, tree_match, tree_match_arities
+from repro.treematch.anneal import AnnealConfig, anneal_mapping
+from repro.treematch.bisection import group_bisection
+from repro.treematch.control import ControlPlan, ControlStrategy
+from repro.treematch.grouping import group_processes
+from repro.treematch.mapping import Mapping, map_groups
+from repro.treematch.oversubscription import OversubscriptionPlan
+from repro.treematch import cost
+
+__all__ = [
+    "TreeMatchResult",
+    "tree_match",
+    "tree_match_arities",
+    "ControlPlan",
+    "ControlStrategy",
+    "AnnealConfig",
+    "anneal_mapping",
+    "group_bisection",
+    "group_processes",
+    "Mapping",
+    "map_groups",
+    "OversubscriptionPlan",
+    "cost",
+]

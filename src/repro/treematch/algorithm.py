@@ -1,0 +1,214 @@
+"""Algorithm 1: the adapted TreeMatch mapping algorithm.
+
+This module implements the paper's Algorithm 1 end to end::
+
+    Input: T  (topology tree)    Input: m (communication matrix)
+    1  m <- extend_to_manage_control_threads(m)
+    2  T <- manage_oversubscription(T, m)
+    3  groups[1..D-1] = {}
+    4  foreach depth <- D-1..1:        # from the leaves
+    5      p <- order of m
+    6      groups[depth] <- GroupProcesses(T, m, depth)
+    7      m <- AggregateComMatrix(m, groups[depth])
+    8  MapGroups(T, groups)
+
+Line 1 lives in :mod:`repro.treematch.control` (it needs topology
+context), line 2 in :mod:`repro.treematch.oversubscription`, lines 4–7
+here, and line 8 in :mod:`repro.treematch.mapping`.  The algorithm runs
+once at launch time, exactly as the paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.comm.matrix import CommMatrix
+from repro.topology.cpuset import CpuSet
+from repro.topology.objects import ObjType
+from repro.topology.tree import Topology
+from repro.treematch import control as control_mod
+from repro.treematch import oversubscription as over_mod
+from repro.treematch.control import ControlPlan, ControlStrategy
+from repro.treematch.grouping import group_processes
+from repro.treematch.mapping import Mapping, map_groups
+from repro.util.validate import ValidationError
+
+
+@dataclass
+class TreeMatchResult:
+    """Everything Algorithm 1 produced, for inspection and reports.
+
+    Attributes
+    ----------
+    mapping:
+        Thread → PU os_index assignment for all matrix entities
+        (compute threads first, then any control threads added by the
+        matrix extension).
+    control_mapping:
+        PU assignment for control threads when the hyperthread-
+        reservation strategy applies (otherwise ``None``; under
+        SPARE_CORES control threads are part of *mapping*).
+    plan:
+        The oversubscription plan that was applied.
+    control_plan:
+        The control-thread branch that was applied (``None`` if control
+        threads were not considered).
+    hierarchy:
+        The per-level groups, deepest level first, for ablation studies.
+    """
+
+    mapping: Mapping
+    control_mapping: Optional[Mapping] = None
+    plan: Optional[over_mod.OversubscriptionPlan] = None
+    control_plan: Optional[ControlPlan] = None
+    hierarchy: list[list[list[int]]] = field(default_factory=list)
+
+
+def _physical_arities(topo: Topology, use_cores_as_leaves: bool) -> tuple[list[int], list[int]]:
+    """Arity vector and leaf PU os_indices for the chosen leaf granularity.
+
+    With *use_cores_as_leaves* the PU level is folded away: the mapping
+    targets one slot per core (whose representative PU is the core's
+    first PU), leaving sibling hyperthreads free for control threads.
+    """
+    arities = topo.arities()
+    pus = topo.pus()
+    if not use_cores_as_leaves:
+        return arities, [pu.os_index for pu in pus]
+    core_depth = topo.type_depth(ObjType.CORE)
+    if core_depth is None:
+        raise ValidationError("topology has no CORE level to use as leaves")
+    # Drop arities below the core level (cores become the leaves).
+    cores = topo.objects_by_type(ObjType.CORE)
+    leaf_os = [next(core.pus()).os_index for core in cores]
+    return arities[:core_depth], leaf_os
+
+
+def tree_match_arities(
+    arities: Sequence[int],
+    matrix: CommMatrix,
+    strategy: str = "auto",
+    refine: bool = True,
+) -> tuple[list[int], over_mod.OversubscriptionPlan, list[list[list[int]]]]:
+    """Core of Algorithm 1 on an abstract balanced tree.
+
+    Returns ``(slot_of, plan, hierarchy)`` where ``slot_of[e]`` is the
+    virtual leaf slot of entity *e* in left-to-right DFS order.  The
+    physical interpretation of slots is up to the caller.
+    """
+    oplan = over_mod.plan(tuple(arities), matrix.order)
+    padded = matrix.extended(oplan.padded_order - matrix.order)
+    m = np.array(padded.values, dtype=np.float64)
+
+    hierarchy: list[list[list[int]]] = []
+    # Lines 4-7: group from the leaf-parent level up to the root.
+    for arity in reversed(oplan.arities):
+        groups = group_processes(m, arity, strategy=strategy, refine=refine)
+        hierarchy.append(groups)
+        agg = CommMatrix(m).aggregated(groups)
+        m = np.array(agg.values, dtype=np.float64)
+    if m.shape[0] != 1:
+        raise AssertionError("grouping did not reduce the matrix to order 1")
+
+    slot_of = map_groups(hierarchy, oplan.padded_order)
+    return slot_of, oplan, hierarchy
+
+
+def tree_match(
+    topo: Topology,
+    matrix: CommMatrix,
+    n_control: int = 0,
+    control_pairing: Optional[Sequence[int]] = None,
+    control_volume: Optional[float] = None,
+    strategy: str = "auto",
+    refine: bool = True,
+    allowed: Optional["CpuSet"] = None,
+) -> TreeMatchResult:
+    """Run the full Algorithm 1 against a topology.
+
+    Parameters
+    ----------
+    topo:
+        The target machine.
+    matrix:
+        Communication matrix over the *compute* threads.
+    n_control:
+        Number of ORWL control threads to handle (0 to skip line 1).
+    control_pairing:
+        ``pairing[k]`` = compute thread served by control thread *k*
+        (defaults to round-robin).
+    control_volume:
+        Synthetic affinity used when control threads are folded into the
+        matrix (SPARE_CORES branch); default is scale-free (mean positive
+        volume).
+    strategy, refine:
+        Grouping options, see
+        :func:`repro.treematch.grouping.group_processes`.
+    allowed:
+        Optional cpuset constraint: only PUs inside it are used (the
+        topology is restricted first; os indices in the result remain
+        those of the full machine).  The restricted tree must still be
+        balanced — restrict whole sockets/cores.
+
+    Returns
+    -------
+    :class:`TreeMatchResult`; ``result.mapping`` covers the compute
+    threads (plus folded-in control threads under SPARE_CORES), and
+    ``result.control_mapping`` covers control threads under
+    hyperthread reservation.
+    """
+    if matrix.order == 0:
+        raise ValidationError("cannot map an empty matrix")
+
+    if allowed is not None:
+        from repro.topology.restrict import restrict
+
+        topo = restrict(topo, allowed)
+
+    control_plan: Optional[ControlPlan] = None
+    work_matrix = matrix
+    use_cores_as_leaves = False
+    if n_control > 0:
+        control_plan = control_mod.decide_strategy(
+            topo, matrix.order, n_control, pairing=control_pairing
+        )
+        if control_plan.strategy is ControlStrategy.SPARE_CORES:
+            work_matrix = control_mod.extend_matrix(
+                matrix, control_plan, control_volume=control_volume
+            )
+        elif control_plan.strategy is ControlStrategy.HYPERTHREAD_RESERVED:
+            use_cores_as_leaves = True
+
+    arities, leaf_os = _physical_arities(topo, use_cores_as_leaves)
+    slot_of, oplan, hierarchy = tree_match_arities(
+        arities, work_matrix, strategy=strategy, refine=refine
+    )
+
+    # Translate virtual slots to PU os indices (several slots share a PU
+    # when oversubscribed).
+    f = oplan.virtual_per_leaf
+    pu_of = [leaf_os[slot_of[e] // f] for e in range(work_matrix.order)]
+    mapping = Mapping(tuple(pu_of), labels=work_matrix.labels, policy="treematch")
+
+    control_mapping: Optional[Mapping] = None
+    if control_plan is not None and control_plan.strategy is ControlStrategy.HYPERTHREAD_RESERVED:
+        ctl_pus = []
+        for comp in control_plan.pairing:
+            sib = control_mod.sibling_pu_of(topo, mapping.pu(comp))
+            ctl_pus.append(sib if sib is not None else -1)
+        control_mapping = Mapping(
+            tuple(ctl_pus),
+            labels=tuple(f"ctl{k}" for k in range(control_plan.n_control)),
+            policy="treematch-control",
+        )
+
+    return TreeMatchResult(
+        mapping=mapping,
+        control_mapping=control_mapping,
+        plan=oplan,
+        control_plan=control_plan,
+        hierarchy=hierarchy,
+    )

@@ -1,0 +1,137 @@
+"""Simulated-annealing mapping baseline.
+
+A placement-quality reference point for the ablations: anneal the
+thread → PU assignment directly against the hop-bytes objective.  Far
+more expensive than TreeMatch (thousands of cost evaluations instead of
+one bottom-up pass) but approaches the attainable optimum on small
+instances, so it bounds how much quality the hierarchical heuristic
+leaves on the table.
+
+Only the assignment *permutation* is annealed: entity *e* sits on slot
+``perm[e]``, slots being PU logical indices repeated ``ceil(n/P)``
+times (the oversubscription layout TreeMatch itself uses).  Moves are
+slot swaps; the incremental cost delta of a swap is O(n), so a full
+anneal is O(moves · n).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.matrix import CommMatrix
+from repro.topology.distance import hop_distance_matrix
+from repro.topology.tree import Topology
+from repro.treematch.mapping import Mapping
+from repro.util.rng import SeedLike, make_rng
+from repro.util.validate import ValidationError
+
+
+@dataclass(frozen=True)
+class AnnealConfig:
+    """SA schedule: geometric cooling from an automatic T0."""
+
+    moves: int = 20_000
+    cooling: float = 0.999
+    #: initial temperature as a fraction of the initial cost.
+    t0_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.moves <= 0:
+            raise ValidationError("moves must be > 0")
+        if not 0.0 < self.cooling < 1.0:
+            raise ValidationError("cooling must be in (0, 1)")
+        if self.t0_fraction <= 0:
+            raise ValidationError("t0_fraction must be > 0")
+
+
+def _cost(vals: np.ndarray, hops: np.ndarray, pu_of: np.ndarray) -> float:
+    """Total volume-weighted hop distance of an assignment."""
+    return float((vals * hops[np.ix_(pu_of, pu_of)]).sum()) / 2.0
+
+
+def anneal_mapping(
+    topo: Topology,
+    matrix: CommMatrix,
+    config: AnnealConfig | None = None,
+    seed: SeedLike = 0,
+) -> Mapping:
+    """Anneal a thread → PU mapping minimizing hop-bytes.
+
+    Supports oversubscription (slots wrap around the PU list).  Returns
+    a :class:`Mapping` in PU os indices, like every other policy.
+    """
+    config = config or AnnealConfig()
+    n = matrix.order
+    if n == 0:
+        raise ValidationError("cannot map an empty matrix")
+    rng = make_rng(seed)
+    hops = hop_distance_matrix(topo).astype(np.float64)
+    pus = topo.pus()
+    n_pus = len(pus)
+    # slot s -> PU logical index (oversubscription wraps).
+    n_slots = n_pus * math.ceil(n / n_pus)
+    slot_pu = np.array([s % n_pus for s in range(n_slots)], dtype=np.intp)
+
+    vals = np.array(matrix.values)
+    # entity e occupies slot perm[e]
+    perm = rng.permutation(n_slots)[:n].astype(np.intp)
+    pu_of = slot_pu[perm]
+    cost = _cost(vals, hops, pu_of)
+    best_cost = cost
+    best_pu_of = pu_of.copy()
+    temp = max(cost * config.t0_fraction, 1e-12)
+    free_slots = list(set(range(n_slots)) - set(perm.tolist()))
+
+    for _ in range(config.moves):
+        a = int(rng.integers(n))
+        move_to_free = bool(free_slots) and rng.random() < 0.3
+        if move_to_free:
+            # Relocate entity a to an unoccupied slot.
+            fi = int(rng.integers(len(free_slots)))
+            new_slot = free_slots[fi]
+            old_pu, new_pu = int(pu_of[a]), int(slot_pu[new_slot])
+            if old_pu == new_pu:
+                continue
+            diff = hops[new_pu] - hops[old_pu]  # per-PU distance change
+            delta = float(vals[a] @ diff[pu_of])  # diagonal is zero
+        else:
+            b = int(rng.integers(n))
+            if a == b:
+                continue
+            pa, pb = int(pu_of[a]), int(pu_of[b])
+            if pa == pb:
+                continue
+            diff = hops[pb] - hops[pa]
+            da = float(vals[a] @ diff[pu_of])
+            db = float(vals[b] @ (-diff)[pu_of])
+            # The a-b edge's distance is unchanged by a swap: remove its
+            # (spurious) contribution from both sides.
+            da -= float(vals[a, b] * diff[pu_of[b]])
+            db -= float(vals[b, a] * (-diff)[pu_of[a]])
+            delta = da + db
+
+        if delta <= 0 or rng.random() < math.exp(-delta / temp):
+            if move_to_free:
+                free_slots[fi] = int(perm[a])
+                perm[a] = new_slot
+            else:
+                perm[a], perm[b] = perm[b], perm[a]
+            pu_of = slot_pu[perm]
+            cost += delta
+            if cost < best_cost - 1e-9:
+                # Re-evaluate exactly at improvements to kill FP drift.
+                cost = _cost(vals, hops, pu_of)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_pu_of = pu_of.copy()
+        temp *= config.cooling
+
+    os_of_logical = [pu.os_index for pu in pus]
+    return Mapping(
+        tuple(os_of_logical[int(p)] for p in best_pu_of),
+        labels=matrix.labels,
+        policy="anneal",
+    )

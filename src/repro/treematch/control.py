@@ -1,0 +1,161 @@
+"""Control-thread handling (the paper's second TreeMatch extension).
+
+ORWL's runtime is event-based: besides the computation threads, each
+task owns control/communication threads (FIFO managers, event handlers).
+The paper's rule, quoted from Section II:
+
+  "If hyperthreading is available, on each physical core we reserve one
+  hyperthread for control and one for computation.  Otherwise, if there
+  are more cores than tasks, we extend the communication matrix such
+  that control threads will be mapped onto spare cores.  If none of
+  this suffices, control threads will not be mapped and we let the
+  system schedule them."
+
+:func:`decide_strategy` picks the branch from the topology and thread
+counts; :func:`extend_matrix` implements the matrix extension
+(``extend_to_manage_control_threads`` in Algorithm 1 line 1), attaching
+each control thread to its compute thread with a synthetic affinity so
+the grouping step naturally co-locates the pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.comm.matrix import CommMatrix
+from repro.topology.tree import Topology
+from repro.util.validate import ValidationError
+
+
+class ControlStrategy(enum.Enum):
+    """Which control-thread branch applies.
+
+    The first three are the paper's; COLOCATED is this library's
+    extension for environments where threads must stay with their task
+    (distributed/cluster ORWL: a thread cannot leave its process).
+    """
+
+    HYPERTHREAD_RESERVED = "hyperthread"  #: control on the sibling hyperthread
+    SPARE_CORES = "spare-cores"  #: control threads added to the matrix
+    UNMAPPED = "unmapped"  #: left to the OS scheduler
+    COLOCATED = "colocated"  #: pinned to the task's compute PU (extension)
+
+
+@dataclass(frozen=True)
+class ControlPlan:
+    """Placement decision for control threads.
+
+    Attributes
+    ----------
+    strategy:
+        The branch chosen.
+    n_compute, n_control:
+        Thread counts the plan was made for.
+    pairing:
+        ``pairing[k]`` is the compute-thread index control thread *k*
+        serves (used to co-locate or to pick sibling hyperthreads).
+    """
+
+    strategy: ControlStrategy
+    n_compute: int
+    n_control: int
+    pairing: tuple[int, ...]
+
+
+def default_pairing(n_compute: int, n_control: int) -> tuple[int, ...]:
+    """Round-robin pairing of control threads onto compute threads."""
+    if n_compute <= 0:
+        raise ValidationError("need at least one compute thread")
+    return tuple(k % n_compute for k in range(n_control))
+
+
+def decide_strategy(
+    topo: Topology,
+    n_compute: int,
+    n_control: int,
+    pairing: Optional[Sequence[int]] = None,
+) -> ControlPlan:
+    """Pick the control-thread branch for this topology and thread count.
+
+    The decision follows the paper exactly:
+
+    1. hyperthreading present and one hyperthread per core can be spared
+       (i.e. compute threads fit on one PU per core) → reserve siblings;
+    2. enough leaves to hold compute + control threads → spare cores;
+    3. otherwise → unmapped.
+    """
+    if n_compute <= 0:
+        raise ValidationError(f"n_compute must be > 0, got {n_compute}")
+    if n_control < 0:
+        raise ValidationError(f"n_control must be >= 0, got {n_control}")
+    pair = tuple(pairing) if pairing is not None else default_pairing(n_compute, n_control)
+    if len(pair) != n_control:
+        raise ValidationError(f"pairing has {len(pair)} entries for {n_control} control threads")
+    for k, c in enumerate(pair):
+        if not 0 <= c < n_compute:
+            raise ValidationError(f"pairing[{k}] = {c} out of range")
+
+    if n_control == 0:
+        return ControlPlan(ControlStrategy.UNMAPPED, n_compute, 0, pair)
+
+    from repro.topology.objects import ObjType  # local import to avoid cycle
+
+    n_cores = topo.nbobjs_by_type(ObjType.CORE) or topo.nb_pus
+    if topo.has_hyperthreading() and n_compute <= n_cores:
+        return ControlPlan(ControlStrategy.HYPERTHREAD_RESERVED, n_compute, n_control, pair)
+    if n_compute + n_control <= topo.nb_pus:
+        return ControlPlan(ControlStrategy.SPARE_CORES, n_compute, n_control, pair)
+    return ControlPlan(ControlStrategy.UNMAPPED, n_compute, n_control, pair)
+
+
+def extend_matrix(
+    matrix: CommMatrix,
+    plan: ControlPlan,
+    control_volume: Optional[float] = None,
+) -> CommMatrix:
+    """``extend_to_manage_control_threads``: add control-thread rows.
+
+    Only meaningful for :data:`ControlStrategy.SPARE_CORES`; the other
+    strategies return the matrix unchanged (hyperthread reservation
+    places control threads *after* mapping, unmapped leaves them out).
+
+    Each control thread is connected to its paired compute thread with
+    *control_volume* (default: the mean positive volume of the matrix, a
+    scale-free choice keeping the pair attractive but not dominant).
+    """
+    if plan.strategy is not ControlStrategy.SPARE_CORES:
+        return matrix
+    if matrix.order != plan.n_compute:
+        raise ValidationError(
+            f"matrix order {matrix.order} != plan.n_compute {plan.n_compute}"
+        )
+    if control_volume is None:
+        vals = matrix.values
+        positive = vals[vals > 0]
+        control_volume = float(positive.mean()) if positive.size else 1.0
+    n, k = plan.n_compute, plan.n_control
+    m = np.zeros((n + k, n + k))
+    m[:n, :n] = matrix.values
+    for ctl, comp in enumerate(plan.pairing):
+        m[n + ctl, comp] = m[comp, n + ctl] = control_volume
+    labels = list(matrix.labels) + [f"ctl{k_}" for k_ in range(k)]
+    return CommMatrix(m, labels=labels)
+
+
+def sibling_pu_of(topo: Topology, pu_os_index: int) -> Optional[int]:
+    """The os_index of another PU on the same core, or ``None``.
+
+    Used by the binder to realize HYPERTHREAD_RESERVED: the control
+    thread of a compute thread bound to PU *p* goes to *p*'s sibling.
+    """
+    core = topo.core_of(pu_os_index)
+    if core is None:
+        return None
+    for pu in core.pus():
+        if pu.os_index != pu_os_index:
+            return pu.os_index
+    return None

@@ -1,0 +1,160 @@
+"""Mapping quality metrics.
+
+These are the standard process-placement objectives used to compare
+TreeMatch against baselines (ablation A1 in DESIGN.md):
+
+* :func:`hop_bytes` — Σ volume(i,j) × tree-hop-distance(pu_i, pu_j);
+* :func:`comm_time_estimate` — Σ volume / bandwidth + latency per pair,
+  using the physical :class:`~repro.topology.distance.DistanceModel`;
+* :func:`numa_cut` — bytes that must cross NUMA-node boundaries;
+* :func:`cache_share_fraction` — fraction of the total volume exchanged
+  under a shared cache (same L3 or closer).
+
+All take a :class:`~repro.treematch.mapping.Mapping` plus the
+communication matrix; unbound threads (PU = -1) are charged worst-case
+(machine-level) distance, matching the pessimistic assumption that the
+OS may put them anywhere.
+"""
+
+from __future__ import annotations
+
+from repro.comm.matrix import CommMatrix
+from repro.topology.distance import DistanceModel
+from repro.topology.objects import ObjType
+from repro.topology.tree import Topology
+from repro.treematch.mapping import Mapping
+from repro.util.validate import ValidationError
+
+
+def _check(mapping: Mapping, matrix: CommMatrix) -> None:
+    if mapping.n_threads < matrix.order:
+        raise ValidationError(
+            f"mapping covers {mapping.n_threads} threads but matrix order is {matrix.order}"
+        )
+
+
+def hop_bytes(mapping: Mapping, matrix: CommMatrix, topo: Topology) -> float:
+    """Total volume-weighted tree distance (lower is better)."""
+    _check(mapping, matrix)
+    model = DistanceModel(topo)
+    hops = model.hop_matrix()
+    max_hop = float(hops.max()) if hops.size else 0.0
+    total = 0.0
+    vals = matrix.values
+    n = matrix.order
+    for i in range(n):
+        for j in range(i + 1, n):
+            v = vals[i, j]
+            if v == 0:
+                continue
+            pi, pj = mapping.pu(i), mapping.pu(j)
+            if pi < 0 or pj < 0:
+                total += v * max_hop
+            else:
+                li = model.logical_of_os(pi)
+                lj = model.logical_of_os(pj)
+                total += v * float(hops[li, lj])
+    return total
+
+
+def comm_time_estimate(
+    mapping: Mapping, matrix: CommMatrix, model: DistanceModel
+) -> float:
+    """Aggregate pairwise transfer time under the physical cost model.
+
+    A static estimate (no contention, no overlap): the sum over pairs of
+    ``latency(level) + volume / bandwidth(level)``.  Correlates with,
+    but is cheaper than, a full simulation.
+    """
+    _check(mapping, matrix)
+    vals = matrix.values
+    n = matrix.order
+    worst_lat = float(model.latency_matrix().max())
+    worst_bw = float(model.bandwidth_matrix().min())
+    total = 0.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            v = vals[i, j]
+            if v == 0:
+                continue
+            pi, pj = mapping.pu(i), mapping.pu(j)
+            if pi < 0 or pj < 0:
+                total += worst_lat + v / worst_bw
+            else:
+                li = model.logical_of_os(pi)
+                lj = model.logical_of_os(pj)
+                total += model.transfer_time(li, lj, v)
+    return total
+
+
+def numa_cut(mapping: Mapping, matrix: CommMatrix, topo: Topology) -> float:
+    """Bytes exchanged between threads on *different* NUMA nodes.
+
+    The quantity the paper's strategy directly minimizes ("reducing the
+    communication between the NUMA nodes").  Unbound threads count as
+    off-node.
+    """
+    _check(mapping, matrix)
+    if topo.nbobjs_by_type(ObjType.NUMANODE) == 0:
+        return 0.0
+    node_of: dict[int, int] = {}
+    for pu in topo.pus():
+        node = topo.numa_node_of(pu.os_index)
+        node_of[pu.os_index] = node.logical_index if node else -1
+    vals = matrix.values
+    n = matrix.order
+    total = 0.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            v = vals[i, j]
+            if v == 0:
+                continue
+            pi, pj = mapping.pu(i), mapping.pu(j)
+            if pi < 0 or pj < 0 or node_of[pi] != node_of[pj]:
+                total += v
+    return total
+
+
+def cache_share_fraction(
+    mapping: Mapping, matrix: CommMatrix, topo: Topology
+) -> float:
+    """Fraction of volume exchanged under a shared cache (L3 or closer).
+
+    The complementary objective the paper states ("optimising the shared
+    caches inside each [NUMA node]").  Returns 0 for a zero matrix.
+    """
+    _check(mapping, matrix)
+    model = DistanceModel(topo)
+    cache_types = {ObjType.L1, ObjType.L2, ObjType.L3, ObjType.CORE}
+    vals = matrix.values
+    n = matrix.order
+    total = 0.0
+    shared = 0.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            v = vals[i, j]
+            if v == 0:
+                continue
+            total += v
+            pi, pj = mapping.pu(i), mapping.pu(j)
+            if pi < 0 or pj < 0:
+                continue
+            li = model.logical_of_os(pi)
+            lj = model.logical_of_os(pj)
+            if model.lca_type(li, lj) in cache_types:
+                shared += v
+    return shared / total if total > 0 else 0.0
+
+
+def score_report(
+    mapping: Mapping, matrix: CommMatrix, topo: Topology
+) -> dict[str, float]:
+    """All metrics in one dict (used by reports and benches)."""
+    model = DistanceModel(topo)
+    return {
+        "hop_bytes": hop_bytes(mapping, matrix, topo),
+        "comm_time_estimate": comm_time_estimate(mapping, matrix, model),
+        "numa_cut": numa_cut(mapping, matrix, topo),
+        "cache_share_fraction": cache_share_fraction(mapping, matrix, topo),
+        "max_load": float(mapping.max_load()),
+    }

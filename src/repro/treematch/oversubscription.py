@@ -1,0 +1,89 @@
+"""Oversubscription handling (the paper's first TreeMatch extension).
+
+"We check if oversubscription is required by comparing the number of
+leaves of the tree with the order of the communication matrix and we
+optionally add a new level to this tree such that we have enough virtual
+resources to compute the allocation."
+
+We operate on the *arity vector* of a balanced tree.  When the matrix
+order exceeds the leaf count, :func:`plan` appends a virtual level of
+arity ``ceil(order / leaves)`` so the virtual leaf count is >= the order;
+every group of virtual leaves under one real PU then time-shares that PU.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validate import ValidationError
+
+
+@dataclass(frozen=True)
+class OversubscriptionPlan:
+    """Result of the oversubscription check.
+
+    Attributes
+    ----------
+    arities:
+        The (possibly extended) arity vector used for grouping.
+    virtual_per_leaf:
+        How many virtual slots each physical PU carries (1 = no
+        oversubscription).
+    n_virtual_leaves:
+        Total leaf slots after extension.
+    padded_order:
+        The matrix order after zero-padding to fill every slot.
+    """
+
+    arities: tuple[int, ...]
+    virtual_per_leaf: int
+    n_virtual_leaves: int
+    padded_order: int
+
+    @property
+    def oversubscribed(self) -> bool:
+        return self.virtual_per_leaf > 1
+
+
+def leaf_count(arities: tuple[int, ...] | list[int]) -> int:
+    """Number of leaves of a balanced tree with this arity vector."""
+    n = 1
+    for a in arities:
+        if a <= 0:
+            raise ValidationError(f"arity must be > 0, got {a}")
+        n *= a
+    return n
+
+
+def plan(arities: list[int] | tuple[int, ...], order: int) -> OversubscriptionPlan:
+    """The ``manage_oversubscription`` step of Algorithm 1.
+
+    Parameters
+    ----------
+    arities:
+        Per-level arity vector of the physical topology (root first,
+        PU-parent level last).
+    order:
+        Order of the communication matrix (number of entities to place).
+    """
+    if order <= 0:
+        raise ValidationError(f"matrix order must be > 0, got {order}")
+    base = tuple(int(a) for a in arities)
+    leaves = leaf_count(base)
+    if order <= leaves:
+        return OversubscriptionPlan(
+            arities=base,
+            virtual_per_leaf=1,
+            n_virtual_leaves=leaves,
+            padded_order=leaves,
+        )
+    factor = math.ceil(order / leaves)
+    extended = base + (factor,)
+    virtual_leaves = leaves * factor
+    return OversubscriptionPlan(
+        arities=extended,
+        virtual_per_leaf=factor,
+        n_virtual_leaves=virtual_leaves,
+        padded_order=virtual_leaves,
+    )

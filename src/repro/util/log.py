@@ -1,0 +1,34 @@
+"""Minimal logging setup.
+
+We use the stdlib :mod:`logging` module under the ``repro`` namespace.
+Nothing is configured globally on import; callers (examples, benches)
+opt in via :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` hierarchy.
+
+    ``get_logger("treematch")`` and ``get_logger("repro.treematch")`` are
+    equivalent.
+    """
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` root logger (idempotent)."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s"))
+        root.addHandler(handler)

@@ -1,0 +1,45 @@
+"""Deterministic random-number handling.
+
+All stochastic components (random placement baselines, the OS-scheduler
+model, synthetic communication matrices, workload jitter) accept a
+``seed`` argument.  :func:`make_rng` normalizes ``None`` / ``int`` /
+``numpy.random.Generator`` into a :class:`numpy.random.Generator` so the
+same seed reproduces the same experiment bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: Anything accepted where a seed is expected.
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Passing an existing generator returns it unchanged (so sub-components
+    can share one stream); an ``int`` or ``SeedSequence`` creates a fresh
+    PCG64 stream; ``None`` creates an OS-entropy-seeded stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Derive *n* independent child generators from *seed*.
+
+    Used when several simulated components (e.g. per-core scheduler noise
+    sources) must be statistically independent yet jointly reproducible.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children through the generator itself to stay deterministic.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(n)]

@@ -1,0 +1,61 @@
+"""Shared fixtures: small topologies and matrices used across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import patterns
+from repro.comm.matrix import CommMatrix
+from repro.topology import presets
+from repro.topology.builder import TopologyBuilder, flat_topology
+from repro.topology.objects import ObjType
+
+
+@pytest.fixture
+def small_topo():
+    """2 NUMA nodes × 4 cores = 8 PUs."""
+    return presets.small_numa(2, 4)
+
+
+@pytest.fixture
+def ht_topo():
+    """2 NUMA nodes × 2 cores × 2 hyperthreads = 8 PUs."""
+    return (
+        TopologyBuilder("ht-test")
+        .add_level(ObjType.NUMANODE, 2)
+        .add_level(ObjType.PACKAGE, 1)
+        .add_level(ObjType.L3, 1)
+        .add_level(ObjType.CORE, 2)
+        .add_level(ObjType.PU, 2)
+        .build()
+    )
+
+
+@pytest.fixture
+def flat8():
+    """8 PUs, one level of cores, no NUMA."""
+    return flat_topology(8)
+
+
+@pytest.fixture
+def paper_topo_small():
+    """A 4-socket slice of the paper's machine (32 PUs) — fast tests."""
+    return presets.paper_smp(4, 8)
+
+
+@pytest.fixture
+def stencil_matrix():
+    """4×4 block stencil affinity (order 16)."""
+    return patterns.stencil_2d(4, 4, edge_volume=100.0)
+
+
+@pytest.fixture
+def clustered_matrix():
+    """2 clusters of 4 with a known optimal grouping (order 8)."""
+    return patterns.clustered(2, 4, intra_volume=100.0, inter_volume=1.0, seed=7)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

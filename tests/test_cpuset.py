@@ -1,0 +1,189 @@
+"""Tests for repro.topology.cpuset: bitmap semantics and parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.cpuset import CpuSet, EMPTY
+
+
+class TestConstruction:
+    def test_empty(self):
+        cs = CpuSet()
+        assert cs.is_empty()
+        assert len(cs) == 0
+        assert not cs
+
+    def test_from_indices(self):
+        cs = CpuSet([0, 3, 5])
+        assert list(cs) == [0, 3, 5]
+        assert len(cs) == 3
+
+    def test_duplicate_indices_collapse(self):
+        assert CpuSet([1, 1, 1]) == CpuSet([1])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSet([-1])
+
+    def test_from_mask(self):
+        assert list(CpuSet.from_mask(0b1011)) == [0, 1, 3]
+
+    def test_from_mask_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSet.from_mask(-1)
+
+    def test_from_range(self):
+        assert list(CpuSet.from_range(2, 6)) == [2, 3, 4, 5]
+
+    def test_from_range_empty(self):
+        assert CpuSet.from_range(3, 3).is_empty()
+
+    def test_from_range_invalid(self):
+        with pytest.raises(ValueError):
+            CpuSet.from_range(5, 2)
+
+    def test_singleton(self):
+        cs = CpuSet.singleton(7)
+        assert list(cs) == [7]
+
+    def test_singleton_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSet.singleton(-2)
+
+
+class TestParse:
+    def test_parse_single(self):
+        assert list(CpuSet.parse("5")) == [5]
+
+    def test_parse_range(self):
+        assert list(CpuSet.parse("0-3")) == [0, 1, 2, 3]
+
+    def test_parse_mixed(self):
+        assert list(CpuSet.parse("0-2,5,8-9")) == [0, 1, 2, 5, 8, 9]
+
+    def test_parse_empty(self):
+        assert CpuSet.parse("").is_empty()
+        assert CpuSet.parse("  ").is_empty()
+
+    def test_parse_descending_range_rejected(self):
+        with pytest.raises(ValueError):
+            CpuSet.parse("5-2")
+
+    def test_parse_roundtrip(self):
+        cs = CpuSet([0, 1, 2, 5, 8, 9, 100])
+        assert CpuSet.parse(cs.to_list_string()) == cs
+
+
+class TestQueries:
+    def test_first_last(self):
+        cs = CpuSet([3, 9, 17])
+        assert cs.first() == 3
+        assert cs.last() == 17
+
+    def test_first_empty_raises(self):
+        with pytest.raises(ValueError):
+            EMPTY.first()
+
+    def test_last_empty_raises(self):
+        with pytest.raises(ValueError):
+            EMPTY.last()
+
+    def test_next_set(self):
+        cs = CpuSet([1, 4, 8])
+        assert cs.next_set(0) == 1
+        assert cs.next_set(1) == 4
+        assert cs.next_set(4) == 8
+        assert cs.next_set(8) is None
+
+    def test_next_set_negative_prev(self):
+        assert CpuSet([0, 2]).next_set(-1) == 0
+
+    def test_weight(self):
+        assert CpuSet.from_range(0, 192).weight() == 192
+
+    def test_contains(self):
+        cs = CpuSet([2, 4])
+        assert 2 in cs and 4 in cs
+        assert 3 not in cs
+        assert -1 not in cs
+
+    def test_singlify(self):
+        assert CpuSet([5, 9]).singlify() == CpuSet([5])
+
+    def test_singlify_empty(self):
+        assert EMPTY.singlify() == EMPTY
+
+    def test_subset_relations(self):
+        a = CpuSet([1, 2])
+        b = CpuSet([1, 2, 3])
+        assert a.issubset(b)
+        assert b.issuperset(a)
+        assert not b.issubset(a)
+
+    def test_disjoint(self):
+        assert CpuSet([0, 1]).isdisjoint(CpuSet([2, 3]))
+        assert not CpuSet([0, 1]).isdisjoint(CpuSet([1, 2]))
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert CpuSet([0, 1]) | CpuSet([1, 2]) == CpuSet([0, 1, 2])
+
+    def test_intersection(self):
+        assert CpuSet([0, 1, 2]) & CpuSet([1, 2, 3]) == CpuSet([1, 2])
+
+    def test_difference(self):
+        assert CpuSet([0, 1, 2]) - CpuSet([1]) == CpuSet([0, 2])
+
+    def test_symmetric_difference(self):
+        assert CpuSet([0, 1]) ^ CpuSet([1, 2]) == CpuSet([0, 2])
+
+    def test_hashable(self):
+        assert len({CpuSet([1]), CpuSet([1]), CpuSet([2])}) == 2
+
+    def test_eq_other_type(self):
+        assert CpuSet([1]) != "1"
+
+
+class TestFormatting:
+    def test_to_list_string_runs(self):
+        assert CpuSet([0, 1, 2, 5, 7, 8]).to_list_string() == "0-2,5,7-8"
+
+    def test_to_list_string_empty(self):
+        assert EMPTY.to_list_string() == ""
+
+    def test_to_hex(self):
+        assert CpuSet([0, 1, 2, 3]).to_hex() == "0x0000000f"
+
+    def test_repr(self):
+        assert "0-2" in repr(CpuSet([0, 1, 2]))
+
+
+# -- property-based ---------------------------------------------------------
+
+idx_sets = st.sets(st.integers(min_value=0, max_value=300), max_size=40)
+
+
+@given(idx_sets, idx_sets)
+def test_union_weight_inclusion_exclusion(a, b):
+    ca, cb = CpuSet(a), CpuSet(b)
+    assert (ca | cb).weight() == len(a | b)
+    assert (ca & cb).weight() == len(a & b)
+
+
+@given(idx_sets)
+def test_iteration_matches_membership(a):
+    cs = CpuSet(a)
+    assert set(cs) == a
+    assert all(i in cs for i in a)
+
+
+@given(idx_sets)
+def test_list_string_roundtrip(a):
+    cs = CpuSet(a)
+    assert CpuSet.parse(cs.to_list_string()) == cs
+
+
+@given(idx_sets, idx_sets)
+def test_difference_disjoint_from_subtrahend(a, b):
+    assert (CpuSet(a) - CpuSet(b)).isdisjoint(CpuSet(b))

@@ -1,0 +1,154 @@
+"""Tests for the discrete-event engine and SimEvent."""
+
+import pytest
+
+from repro.simulate.engine import Engine, SimEvent, SimulationError
+
+
+class TestEngine:
+    def test_time_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        e = Engine()
+        log = []
+        e.schedule(2.0, lambda: log.append("b"))
+        e.schedule(1.0, lambda: log.append("a"))
+        e.schedule(3.0, lambda: log.append("c"))
+        e.run()
+        assert log == ["a", "b", "c"]
+        assert e.now == 3.0
+
+    def test_same_time_fifo_order(self):
+        e = Engine()
+        log = []
+        for k in range(5):
+            e.schedule(1.0, lambda k=k: log.append(k))
+        e.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_at_absolute_time(self):
+        e = Engine()
+        log = []
+        e.at(5.0, lambda: log.append(e.now))
+        e.run()
+        assert log == [5.0]
+
+    def test_at_past_rejected(self):
+        e = Engine()
+        e.schedule(2.0, lambda: None)
+        e.run()
+        with pytest.raises(SimulationError):
+            e.at(1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        e = Engine()
+        log = []
+
+        def first():
+            log.append(("first", e.now))
+            e.schedule(1.0, lambda: log.append(("second", e.now)))
+
+        e.schedule(1.0, first)
+        e.run()
+        assert log == [("first", 1.0), ("second", 2.0)]
+
+    def test_run_until(self):
+        e = Engine()
+        log = []
+        e.schedule(1.0, lambda: log.append(1))
+        e.schedule(10.0, lambda: log.append(10))
+        e.run(until=5.0)
+        assert log == [1]
+        assert e.now == 5.0
+        assert e.pending == 1
+
+    def test_step_empty_returns_false(self):
+        assert Engine().step() is False
+
+    def test_max_events_guard(self):
+        e = Engine()
+
+        def loop():
+            e.schedule(0.0, loop)
+
+        e.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            e.run(max_events=100)
+
+    def test_events_fired_counter(self):
+        e = Engine()
+        for _ in range(3):
+            e.schedule(1.0, lambda: None)
+        e.run()
+        assert e.events_fired == 3
+
+
+class TestSimEvent:
+    def test_wait_then_fire(self):
+        e = Engine()
+        ev = SimEvent(e, "x")
+        log = []
+        ev.wait(lambda: log.append(e.now))
+        e.schedule(2.0, ev.fire)
+        e.run()
+        assert log == [2.0]
+        assert ev.fired
+
+    def test_wait_after_fire_immediate(self):
+        e = Engine()
+        ev = SimEvent(e)
+        ev.fire()
+        log = []
+        ev.wait(lambda: log.append(e.now))
+        e.run()
+        assert log == [0.0]
+
+    def test_fire_with_delay(self):
+        e = Engine()
+        ev = SimEvent(e)
+        log = []
+        ev.wait(lambda: log.append(e.now))
+        ev.fire(delay=3.0)
+        e.run()
+        assert log == [3.0]
+
+    def test_late_waiter_honours_fire_delay(self):
+        """A waiter registering after fire() still waits until release."""
+        e = Engine()
+        ev = SimEvent(e)
+        log = []
+        ev.fire(delay=5.0)
+        ev.wait(lambda: log.append(e.now))
+        e.run()
+        assert log == [5.0]
+
+    def test_waiter_after_release_time_runs_now(self):
+        e = Engine()
+        ev = SimEvent(e)
+        ev.fire(delay=1.0)
+        log = []
+        e.schedule(10.0, lambda: ev.wait(lambda: log.append(e.now)))
+        e.run()
+        assert log == [10.0]
+
+    def test_double_fire_rejected(self):
+        e = Engine()
+        ev = SimEvent(e)
+        ev.fire()
+        with pytest.raises(SimulationError):
+            ev.fire()
+
+    def test_multiple_waiters_all_released(self):
+        e = Engine()
+        ev = SimEvent(e)
+        log = []
+        for k in range(4):
+            ev.wait(lambda k=k: log.append(k))
+        ev.fire()
+        e.run()
+        assert sorted(log) == [0, 1, 2, 3]

@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are part of the public deliverable; they must not rot.  Each
+is imported from the examples/ directory and executed with reduced
+arguments where the script accepts them.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_examples_directory_complete():
+    names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart", "fig1_reproduce", "custom_topology",
+            "placement_compare", "trace_affinity", "ring_pipeline",
+            "timeline_debug", "cluster_placement"} <= names
+
+
+def test_timeline_debug_runs(capsys):
+    load_example("timeline_debug").main()
+    out = capsys.readouterr().out
+    assert "per-PU utilization" in out
+
+
+@pytest.mark.slow
+def test_cluster_placement_runs(capsys):
+    load_example("cluster_placement").main()
+    out = capsys.readouterr().out
+    assert "less data over the network" in out
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "ORWL-Bind" in out
+    assert "speedup" in out
+
+
+def test_custom_topology_runs(capsys):
+    load_example("custom_topology").main()
+    out = capsys.readouterr().out
+    assert "Topology from spec" in out
+    assert "OS binding script" in out
+
+
+def test_trace_affinity_runs(capsys):
+    load_example("trace_affinity").main()
+    out = capsys.readouterr().out
+    assert "Pearson correlation" in out
+
+
+def test_ring_pipeline_runs(capsys):
+    load_example("ring_pipeline").main()
+    out = capsys.readouterr().out
+    assert "treematch" in out
+
+
+@pytest.mark.slow
+def test_fig1_reproduce_runs_reduced(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["fig1_reproduce.py", "--cores", "8", "16"])
+    load_example("fig1_reproduce").main()
+    out = capsys.readouterr().out
+    assert "Figure 1 sweep" in out
+    assert "C2 speedup" in out
+
+
+@pytest.mark.slow
+def test_placement_compare_runs(capsys):
+    load_example("placement_compare").main()
+    out = capsys.readouterr().out
+    assert "Fastest policy" in out

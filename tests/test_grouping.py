@@ -1,0 +1,168 @@
+"""Tests for GroupProcesses: exact, greedy, and refinement strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import patterns
+from repro.treematch.grouping import (
+    cut_volume,
+    group_exact,
+    group_greedy,
+    group_processes,
+    intra_group_volume,
+    refine_swap,
+)
+from repro.util.validate import ValidationError
+
+
+def _sym(n, rng):
+    m = rng.random((n, n)) * 10
+    m = m + m.T
+    np.fill_diagonal(m, 0)
+    return m
+
+
+def _is_partition(groups, n, size):
+    flat = sorted(i for g in groups for i in g)
+    return flat == list(range(n)) and all(len(g) == size for g in groups)
+
+
+class TestValidation:
+    def test_non_divisible_rejected(self):
+        with pytest.raises(ValidationError):
+            group_processes(np.zeros((5, 5)), 2)
+
+    def test_bad_group_size_rejected(self):
+        with pytest.raises(ValidationError):
+            group_processes(np.zeros((4, 4)), 0)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValidationError):
+            group_processes(np.zeros((4, 4)), 2, strategy="magic")
+
+
+class TestTrivialCases:
+    def test_group_size_one_is_identity(self, rng):
+        m = _sym(6, rng)
+        groups = group_processes(m, 1)
+        assert groups == [[i] for i in range(6)]
+
+    def test_group_size_n_is_single_group(self, rng):
+        m = _sym(6, rng)
+        assert group_processes(m, 6) == [[0, 1, 2, 3, 4, 5]]
+
+
+class TestExact:
+    def test_clustered_recovered(self):
+        # 2 clusters of 3 with heavy intra-traffic: exact must find them.
+        cm = patterns.clustered(2, 3, intra_volume=100, inter_volume=1, shuffle=False)
+        groups = group_exact(np.array(cm.values), 3)
+        assert sorted(map(tuple, groups)) == [(0, 1, 2), (3, 4, 5)]
+
+    def test_exact_beats_or_ties_greedy(self, rng):
+        for _ in range(5):
+            m = _sym(8, rng)
+            exact = group_exact(m, 2)
+            greedy = group_greedy(m, 2)
+            assert intra_group_volume(m, exact) >= intra_group_volume(m, greedy) - 1e-9
+
+    def test_exact_partition_valid(self, rng):
+        m = _sym(9, rng)
+        groups = group_exact(m, 3)
+        assert _is_partition(groups, 9, 3)
+
+
+class TestGreedy:
+    def test_partition_valid_large(self, rng):
+        m = _sym(60, rng)
+        groups = group_greedy(m, 5)
+        assert _is_partition(groups, 60, 5)
+
+    def test_clustered_recovered(self):
+        cm = patterns.clustered(4, 4, intra_volume=100, inter_volume=1, seed=11)
+        m = np.array(cm.values)
+        groups = group_greedy(m, 4)
+        # each greedy group should be one cluster: intra-volume == optimum
+        per_group = 6 * 100.0  # C(4,2) pairs at 100
+        assert intra_group_volume(m, groups) == pytest.approx(4 * per_group)
+
+    def test_deterministic(self, rng):
+        m = _sym(20, rng)
+        assert group_greedy(m, 4) == group_greedy(m, 4)
+
+    def test_zero_matrix_ok(self):
+        groups = group_greedy(np.zeros((8, 8)), 2)
+        assert _is_partition(groups, 8, 2)
+
+
+class TestRefine:
+    def test_never_decreases_intra_volume(self, rng):
+        for _ in range(5):
+            m = _sym(12, rng)
+            base = group_greedy(m, 3)
+            refined = refine_swap(m, base)
+            assert intra_group_volume(m, refined) >= intra_group_volume(m, base) - 1e-9
+            assert _is_partition(refined, 12, 3)
+
+    def test_fixes_planted_swap(self):
+        cm = patterns.clustered(2, 4, intra_volume=100, inter_volume=0.1, shuffle=False)
+        m = np.array(cm.values)
+        # Start from a deliberately wrong partition (one pair swapped).
+        bad = [[0, 1, 2, 7], [3, 4, 5, 6]]
+        refined = refine_swap(m, bad)
+        assert sorted(map(tuple, refined)) == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+
+class TestDispatch:
+    def test_auto_uses_exact_for_small(self, rng):
+        m = _sym(6, rng)
+        auto = group_processes(m, 2, strategy="auto")
+        exact = group_exact(m, 2)
+        assert intra_group_volume(m, auto) == pytest.approx(intra_group_volume(m, exact))
+
+    def test_auto_uses_greedy_for_large(self, rng):
+        m = _sym(40, rng)
+        groups = group_processes(m, 4, strategy="auto")
+        assert _is_partition(groups, 40, 4)
+
+
+class TestMetrics:
+    def test_intra_plus_cut_equals_total(self, rng):
+        m = _sym(12, rng)
+        groups = group_greedy(m, 4)
+        total = float(m.sum()) / 2
+        assert intra_group_volume(m, groups) + cut_volume(m, groups) == pytest.approx(total)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_groups=st.integers(min_value=2, max_value=4),
+    size=st.integers(min_value=2, max_value=3),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_greedy_always_partitions(n_groups, size, seed):
+    rng = np.random.default_rng(seed)
+    n = n_groups * size
+    m = _sym(n, rng)
+    groups = group_processes(m, size, strategy="greedy")
+    assert _is_partition(groups, n, size)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_exact_is_optimal_brute_force(seed):
+    """Exact search must match brute-force enumeration on tiny inputs."""
+    import itertools
+
+    rng = np.random.default_rng(seed)
+    m = _sym(6, rng)
+    best = -1.0
+    ids = list(range(6))
+    for combo in itertools.combinations(ids[1:], 2):
+        g1 = (0, *combo)
+        rest = tuple(i for i in ids if i not in g1)
+        val = intra_group_volume(m, [g1, rest])
+        best = max(best, val)
+    exact = group_exact(m, 3)
+    assert intra_group_volume(m, exact) == pytest.approx(best)

@@ -1,0 +1,109 @@
+"""Tests for heterogeneous core rates and per-thread statistics."""
+
+import pytest
+
+from repro.simulate import Compute, ComputeFlops, Machine, Receive, Wait
+from repro.simulate.engine import SimulationError
+
+
+class TestComputeFlops:
+    def test_priced_at_pu_rate(self, small_topo):
+        m = Machine(small_topo, seed=0, core_rate=1e9, core_rate_of={1: 2e9})
+        slow = m.add_thread("slow", bound_pu_os=0)
+        fast = m.add_thread("fast", bound_pu_os=1)
+        m.set_body(slow, iter([ComputeFlops(1e9)]))
+        m.set_body(fast, iter([ComputeFlops(1e9)]))
+        m.run()
+        assert m.thread_stats(slow)["compute_time"] == pytest.approx(1.0)
+        assert m.thread_stats(fast)["compute_time"] == pytest.approx(0.5)
+
+    def test_default_rate_uniform(self, small_topo):
+        m = Machine(small_topo, seed=0, core_rate=4e9)
+        tid = m.add_thread("t", bound_pu_os=3)
+        m.set_body(tid, iter([ComputeFlops(2e9)]))
+        assert m.run() == pytest.approx(0.5)
+
+    def test_unknown_pu_in_rates_rejected(self, small_topo):
+        with pytest.raises(SimulationError):
+            Machine(small_topo, core_rate_of={99: 1e9})
+
+    def test_nonpositive_rate_rejected(self, small_topo):
+        with pytest.raises(Exception):
+            Machine(small_topo, core_rate_of={0: 0.0})
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeFlops(-1)
+
+    def test_orwl_compute_flops_heterogeneous(self, small_topo):
+        """ORWL bodies using flops feel the PU speed they land on."""
+        from repro.orwl import AccessMode, Program, Runtime
+        from repro.treematch.mapping import Mapping
+
+        times = {}
+        for pu, rate_map in [(0, {0: 1e9}), (1, {1: 4e9})]:
+            prog = Program("het")
+            loc = prog.location("l", 0, owner_task="t")
+            op = prog.task("t").operation("main", body=None)
+            h = op.handle(loc, AccessMode.WRITE)
+
+            def body(ctx, h=h):
+                yield from ctx.acquire(h)
+                yield ctx.compute(flops=2e9)
+                ctx.release(h)
+
+            op.body = body
+            machine = Machine(small_topo, seed=0, core_rate=2e9,
+                              core_rate_of=rate_map)
+            rt = Runtime(prog, machine, mapping=Mapping((pu,)))
+            times[pu] = rt.run().time
+        assert times[0] > times[1]
+
+
+class TestThreadStats:
+    def test_stats_breakdown(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        ev = m.new_event()
+        prod = m.add_thread("p", bound_pu_os=0)
+        cons = m.add_thread("c", bound_pu_os=4)
+
+        def producer():
+            yield Compute(0.5)
+            ev.fire()
+
+        def consumer():
+            yield Wait(ev)
+            yield Receive(prod, 1 << 20)
+
+        m.set_body(prod, producer())
+        m.set_body(cons, consumer())
+        m.run()
+        p = m.thread_stats(prod)
+        c = m.thread_stats(cons)
+        assert p["compute_time"] == pytest.approx(0.5)
+        assert p["wait_time"] == 0.0
+        assert c["wait_time"] == pytest.approx(0.5)
+        assert c["transfer_time"] > 0
+        assert c["compute_time"] == 0.0
+
+    def test_sum_matches_global_metrics(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        tids = [m.add_thread(f"t{k}", bound_pu_os=k) for k in range(4)]
+        for tid in tids:
+            m.set_body(tid, iter([Compute(0.25), Compute(0.25)]))
+        m.run()
+        total = sum(m.thread_stats(t)["compute_time"] for t in tids)
+        assert total == pytest.approx(m.metrics.compute_time)
+
+    def test_migration_count_per_thread(self, small_topo):
+        from repro.simulate.scheduler import SchedulerConfig
+
+        m = Machine(
+            small_topo, seed=1,
+            scheduler=SchedulerConfig(migration_quantum=0.01, migration_prob=1.0,
+                                      imbalance_threshold=1e9),
+        )
+        tid = m.add_thread("t")
+        m.set_body(tid, iter([Compute(0.05) for _ in range(10)]))
+        m.run()
+        assert m.thread_stats(tid)["migrations"] == m.metrics.migrations

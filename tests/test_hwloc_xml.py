@@ -1,0 +1,227 @@
+"""Tests for hwloc XML import (v1 and v2 layouts)."""
+
+import pytest
+
+from repro.topology.hwloc_xml import load_hwloc_xml, parse_hwloc_xml
+from repro.topology.objects import ObjType
+from repro.topology.tree import TopologyError
+
+# A v1-style export: NUMANode is a tree level, caches use type="Cache"
+# with a depth attribute.
+V1_XML = """<?xml version="1.0"?>
+<topology>
+  <object type="Machine" os_index="0">
+    <object type="NUMANode" os_index="0" local_memory="34359738368">
+      <object type="Socket" os_index="0">
+        <object type="Cache" cache_size="20971520" depth="3" cache_linesize="64">
+          <object type="Core" os_index="0">
+            <object type="PU" os_index="0"/>
+            <object type="PU" os_index="1"/>
+          </object>
+          <object type="Core" os_index="1">
+            <object type="PU" os_index="2"/>
+            <object type="PU" os_index="3"/>
+          </object>
+        </object>
+      </object>
+    </object>
+    <object type="NUMANode" os_index="1" local_memory="34359738368">
+      <object type="Socket" os_index="1">
+        <object type="Cache" cache_size="20971520" depth="3" cache_linesize="64">
+          <object type="Core" os_index="2">
+            <object type="PU" os_index="4"/>
+            <object type="PU" os_index="5"/>
+          </object>
+          <object type="Core" os_index="3">
+            <object type="PU" os_index="6"/>
+            <object type="PU" os_index="7"/>
+          </object>
+        </object>
+      </object>
+    </object>
+  </object>
+</topology>
+"""
+
+# A v2-style export: NUMANode attached as a leaf memory child of the
+# Package; caches use explicit L3Cache/L2Cache types.
+V2_XML = """<?xml version="1.0"?>
+<topology>
+  <object type="Machine" os_index="0">
+    <object type="Package" os_index="0">
+      <object type="NUMANode" os_index="0" local_memory="17179869184"/>
+      <object type="L3Cache" cache_size="8388608" cache_linesize="64">
+        <object type="Core" os_index="0">
+          <object type="PU" os_index="0"/>
+        </object>
+        <object type="Core" os_index="1">
+          <object type="PU" os_index="1"/>
+        </object>
+      </object>
+    </object>
+  </object>
+</topology>
+"""
+
+# An export with PCI bridges to skip.
+SKIP_XML = """<?xml version="1.0"?>
+<topology>
+  <object type="Machine">
+    <object type="Core" os_index="0">
+      <object type="PU" os_index="0"/>
+    </object>
+    <object type="Bridge">
+      <object type="PCIDev"/>
+    </object>
+    <object type="Core" os_index="1">
+      <object type="PU" os_index="1"/>
+    </object>
+  </object>
+</topology>
+"""
+
+
+class TestV1:
+    def test_structure(self):
+        t = parse_hwloc_xml(V1_XML)
+        assert t.nb_pus == 8
+        assert t.nbobjs_by_type(ObjType.NUMANODE) == 2
+        assert t.nbobjs_by_type(ObjType.PACKAGE) == 2
+        assert t.nbobjs_by_type(ObjType.L3) == 2
+        assert t.nbobjs_by_type(ObjType.CORE) == 4
+        assert t.has_hyperthreading()
+
+    def test_balanced_for_mapping(self):
+        t = parse_hwloc_xml(V1_XML)
+        assert t.arities() == [2, 1, 1, 2, 2]
+
+    def test_attributes(self):
+        t = parse_hwloc_xml(V1_XML)
+        l3 = t.objects_by_type(ObjType.L3)[0]
+        assert l3.cache.size == 20971520
+        node = t.objects_by_type(ObjType.NUMANODE)[0]
+        assert node.memory.local_bytes == 34359738368
+
+    def test_os_indices(self):
+        t = parse_hwloc_xml(V1_XML)
+        assert [p.os_index for p in t.pus()] == list(range(8))
+
+
+class TestV2:
+    def test_memory_child_folded_to_level(self):
+        t = parse_hwloc_xml(V2_XML)
+        assert t.nb_pus == 2
+        assert t.nbobjs_by_type(ObjType.NUMANODE) == 1
+        # The NUMANode must now contain the cores.
+        node = t.objects_by_type(ObjType.NUMANODE)[0]
+        assert node.cpuset.weight() == 2
+
+    def test_numa_queries_work(self):
+        t = parse_hwloc_xml(V2_XML)
+        assert t.numa_node_of(0) is not None
+
+    def test_explicit_cache_types(self):
+        t = parse_hwloc_xml(V2_XML)
+        assert t.nbobjs_by_type(ObjType.L3) == 1
+        assert t.objects_by_type(ObjType.L3)[0].cache.size == 8388608
+
+
+class TestRobustness:
+    def test_io_devices_skipped(self):
+        t = parse_hwloc_xml(SKIP_XML)
+        assert t.nb_pus == 2
+        assert t.nbobjs_by_type(ObjType.GROUP) == 0
+
+    def test_not_xml_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_hwloc_xml("this is not xml")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_hwloc_xml("<notatopology/>")
+
+    def test_no_machine_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_hwloc_xml("<topology><object type='Core'/></topology>")
+
+    def test_file_loading(self, tmp_path):
+        path = tmp_path / "machine.xml"
+        path.write_text(V1_XML)
+        t = load_hwloc_xml(path)
+        assert t.nb_pus == 8
+        assert t.name == "machine"
+
+    def test_cli_resolves_xml(self, tmp_path, capsys):
+        from repro.tools import lstopo as lstopo_cli
+
+        path = tmp_path / "host.xml"
+        path.write_text(V1_XML)
+        assert lstopo_cli.main([str(path), "--summary"]) == 0
+        assert "PU: 8" in capsys.readouterr().out
+
+    def test_mapping_on_imported_topology(self):
+        from repro.comm import patterns
+        from repro.treematch.algorithm import tree_match
+
+        t = parse_hwloc_xml(V1_XML)
+        m = patterns.ring(8, volume=10.0)
+        result = tree_match(t, m)
+        assert result.mapping.bound_fraction() == 1.0
+
+
+class TestExport:
+    def test_roundtrip_v1(self):
+        from repro.topology.hwloc_xml import to_hwloc_xml
+
+        t = parse_hwloc_xml(V1_XML)
+        t2 = parse_hwloc_xml(to_hwloc_xml(t))
+        assert t2.nb_pus == t.nb_pus
+        assert t2.arities() == t.arities()
+        assert [p.os_index for p in t2.pus()] == [p.os_index for p in t.pus()]
+
+    def test_roundtrip_preserves_attributes(self):
+        from repro.topology.hwloc_xml import to_hwloc_xml
+
+        t = parse_hwloc_xml(V1_XML)
+        t2 = parse_hwloc_xml(to_hwloc_xml(t))
+        assert t2.objects_by_type(ObjType.L3)[0].cache.size == 20971520
+        assert t2.objects_by_type(ObjType.NUMANODE)[0].memory.local_bytes > 0
+
+    def test_roundtrip_from_presets(self):
+        from repro.topology import presets
+        from repro.topology.hwloc_xml import to_hwloc_xml
+
+        for name in ("small-numa", "ht-smp", "paper-smp"):
+            t = presets.by_name(name)
+            t2 = parse_hwloc_xml(to_hwloc_xml(t))
+            assert t2.nb_pus == t.nb_pus
+            assert t2.arities() == t.arities()
+
+    def test_save_file(self, tmp_path):
+        from repro.topology import presets
+        from repro.topology.hwloc_xml import load_hwloc_xml, save_hwloc_xml
+
+        dest = tmp_path / "exported.xml"
+        save_hwloc_xml(presets.small_numa(), dest)
+        t2 = load_hwloc_xml(dest)
+        assert t2.nb_pus == 8
+
+    def test_roundtrip_property(self):
+        from hypothesis import given, settings, strategies as st
+
+        from repro.topology.builder import from_spec
+        from repro.topology.hwloc_xml import to_hwloc_xml
+
+        @settings(max_examples=15, deadline=None)
+        @given(
+            nodes=st.integers(min_value=1, max_value=3),
+            cores=st.integers(min_value=1, max_value=4),
+            pus=st.integers(min_value=1, max_value=2),
+        )
+        def check(nodes, cores, pus):
+            t = from_spec(f"numa:{nodes} package:1 l3:1 core:{cores} pu:{pus}")
+            t2 = parse_hwloc_xml(to_hwloc_xml(t))
+            assert t2.arities() == t.arities()
+            assert [p.os_index for p in t2.pus()] == [p.os_index for p in t.pus()]
+
+        check()

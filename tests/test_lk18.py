@@ -1,0 +1,92 @@
+"""Tests for Livermore Kernel 18 (2-D explicit hydrodynamics)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import lk18 as k18
+from repro.kernels.lk23_orwl import build_program
+from repro.orwl import Runtime
+from repro.placement import bind_program
+from repro.simulate.machine import Machine
+from repro.util.validate import ValidationError
+
+
+class TestNumerics:
+    def test_vectorized_matches_reference_one_step(self):
+        f = k18.make_fields(8, seed=1)
+        ref = k18.lk18_reference(f, steps=1)
+        vec = k18.lk18(f, steps=1)
+        for name in ("zr", "zz", "zu", "zv"):
+            assert np.allclose(
+                getattr(ref, name), getattr(vec, name), rtol=0, atol=0
+            ), name
+
+    def test_vectorized_matches_reference_multi_step(self):
+        f = k18.make_fields(6, seed=2)
+        ref = k18.lk18_reference(f, steps=3)
+        vec = k18.lk18(f, steps=3)
+        for name in ("zr", "zz", "zu", "zv"):
+            assert np.array_equal(getattr(ref, name), getattr(vec, name)), name
+
+    def test_boundary_untouched(self):
+        f = k18.make_fields(7, seed=3)
+        out = k18.lk18_step(f)
+        assert np.array_equal(out.zr[0, :], f.zr[0, :])
+        assert np.array_equal(out.zz[:, -1], f.zz[:, -1])
+        assert np.array_equal(out.zu[-1, :], f.zu[-1, :])
+
+    def test_inputs_not_mutated(self):
+        f = k18.make_fields(6, seed=4)
+        snapshot = {n: getattr(f, n).copy() for n in ("zp", "zq", "zr", "zm", "zz", "zu", "zv")}
+        k18.lk18(f, steps=2)
+        k18.lk18_reference(f, steps=1)
+        for n, before in snapshot.items():
+            assert np.array_equal(getattr(f, n), before), n
+
+    def test_step_changes_interior(self):
+        f = k18.make_fields(6, seed=5)
+        out = k18.lk18_step(f)
+        assert not np.array_equal(out.zr[1:-1, 1:-1], f.zr[1:-1, 1:-1])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            k18.make_fields(2)
+        f = k18.make_fields(5)
+        with pytest.raises(ValidationError):
+            k18.lk18(f, steps=0)
+        with pytest.raises(ValidationError):
+            k18.lk18_reference(f, steps=0)
+
+    def test_fields_shape_check(self):
+        f = k18.make_fields(5)
+        with pytest.raises(ValidationError):
+            k18.Lk18Fields(f.zp, f.zq[:3, :3], f.zr, f.zm, f.zz, f.zu, f.zv)
+
+
+class TestOrwlWorkload:
+    def test_config_shape(self):
+        cfg = k18.orwl_config(n=1024, grid_rows=2, grid_cols=2, iterations=4)
+        assert cfg.iterations == 12  # three exchanges per time step
+        assert cfg.element_bytes == 56  # seven 8-byte fields
+        assert cfg.grid.n_blocks == 4
+
+    def test_runs_under_placement(self, small_topo):
+        cfg = k18.orwl_config(n=512, grid_rows=2, grid_cols=2, iterations=2)
+        prog = build_program(cfg)
+        plan = bind_program(prog, small_topo, policy="treematch")
+        m = Machine(small_topo, seed=1)
+        rt = Runtime(prog, m, mapping=plan.mapping, control_mapping=plan.control_mapping)
+        res = rt.run()
+        assert res.time > 0
+
+    def test_binding_beats_nobind(self, paper_topo_small):
+        times = {}
+        for policy in ("treematch", "nobind"):
+            cfg = k18.orwl_config(n=4096, grid_rows=4, grid_cols=8, iterations=2)
+            prog = build_program(cfg)
+            plan = bind_program(prog, paper_topo_small, policy=policy)
+            m = Machine(paper_topo_small, seed=1)
+            rt = Runtime(prog, m, mapping=plan.mapping,
+                         control_mapping=plan.control_mapping)
+            times[policy] = rt.run().time
+        assert times["treematch"] < times["nobind"]

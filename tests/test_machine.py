@@ -1,0 +1,446 @@
+"""Tests for the simulated machine: compute, transfers, scheduling."""
+
+import pytest
+
+from repro.simulate.contention import ContentionConfig, ContentionModel
+from repro.simulate.engine import SimulationError
+from repro.simulate.machine import Machine, ThreadState
+from repro.simulate.metrics import MachineMetrics
+from repro.simulate.scheduler import OsScheduler, SchedulerConfig
+from repro.simulate.syscalls import Compute, Receive, ReceiveFromNode, Wait, Yield
+from repro.topology.builder import flat_topology
+from repro.topology.objects import ObjType
+
+
+def run_single(topo, body, bound=0, **kw):
+    m = Machine(topo, seed=0, **kw)
+    tid = m.add_thread("t", bound_pu_os=bound)
+    m.set_body(tid, body(m, tid))
+    return m, m.run()
+
+
+class TestCompute:
+    def test_single_compute_advances_clock(self, small_topo):
+        def body(m, tid):
+            yield Compute(1.5)
+
+        _, t = run_single(small_topo, body)
+        assert t == pytest.approx(1.5)
+
+    def test_computes_serialize_on_same_pu(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        for k in range(2):
+            tid = m.add_thread(f"t{k}", bound_pu_os=0)
+            m.set_body(tid, iter([Compute(1.0)]))
+        assert m.run() == pytest.approx(2.0)
+
+    def test_computes_parallel_on_distinct_pus(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        for k in range(2):
+            tid = m.add_thread(f"t{k}", bound_pu_os=k)
+            m.set_body(tid, iter([Compute(1.0)]))
+        assert m.run() == pytest.approx(1.0)
+
+    def test_compute_jitter_changes_duration(self, small_topo):
+        def body(m, tid):
+            yield Compute(1.0)
+
+        _, t = run_single(small_topo, body, compute_jitter=0.1)
+        assert t != pytest.approx(1.0)
+        assert 0.9 <= t <= 1.1
+
+    def test_invalid_jitter_rejected(self, small_topo):
+        with pytest.raises(ValueError):
+            Machine(small_topo, compute_jitter=1.5)
+
+    def test_compute_metric_recorded(self, small_topo):
+        def body(m, tid):
+            yield Compute(2.0)
+
+        m, _ = run_single(small_topo, body)
+        assert m.metrics.compute_time == pytest.approx(2.0)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+    def test_seconds_for_flops(self, small_topo):
+        m = Machine(small_topo, core_rate=1e9)
+        assert m.seconds_for_flops(2e9) == pytest.approx(2.0)
+
+
+class TestTransfers:
+    def test_receive_cost_scales_with_distance(self, small_topo):
+        times = {}
+        for dst, key in [(1, "near"), (4, "far")]:
+            m = Machine(small_topo, seed=0)
+            t_prod = m.add_thread("p", bound_pu_os=0)
+            t_cons = m.add_thread("c", bound_pu_os=dst)
+            ev = m.new_event()
+
+            def producer():
+                yield Compute(1e-6)
+                ev.fire()
+
+            def consumer():
+                yield Wait(ev)
+                yield Receive(t_prod, 1 << 20)
+
+            m.set_body(t_prod, producer())
+            m.set_body(t_cons, consumer())
+            times[key] = m.run()
+        assert times["far"] > times["near"]
+
+    def test_receive_records_level_bytes(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        t_prod = m.add_thread("p", bound_pu_os=0)
+        t_cons = m.add_thread("c", bound_pu_os=4)
+        ev = m.new_event()
+
+        def producer():
+            yield Compute(1e-6)
+            ev.fire()
+
+        def consumer():
+            yield Wait(ev)
+            yield Receive(t_prod, 4096)
+
+        m.set_body(t_prod, producer())
+        m.set_body(t_cons, consumer())
+        m.run()
+        assert m.metrics.bytes_by_level[ObjType.MACHINE] == 4096
+        assert m.metrics.remote_bytes == 4096
+
+    def test_receive_unknown_producer_rejected(self, small_topo):
+        def body(m, tid):
+            yield Receive(99, 10)
+
+        with pytest.raises(SimulationError):
+            run_single(small_topo, body)
+
+    def test_receive_from_node_local_vs_remote(self, small_topo):
+        times = {}
+        for node, key in [(0, "local"), (1, "remote")]:
+            def body(m, tid, node=node):
+                yield ReceiveFromNode(node, 1 << 20)
+
+            _, t = run_single(small_topo, body, bound=0)
+            times[key] = t
+        assert times["remote"] > times["local"]
+
+    def test_receive_from_node_local_counts_numanode(self, small_topo):
+        def body(m, tid):
+            yield ReceiveFromNode(0, 4096)
+
+        m, _ = run_single(small_topo, body, bound=0)
+        assert m.metrics.bytes_by_level[ObjType.NUMANODE] == 4096
+        assert m.metrics.remote_bytes == 0.0
+
+    def test_receive_from_invalid_node(self, small_topo):
+        def body(m, tid):
+            yield ReceiveFromNode(7, 10)
+
+        with pytest.raises(SimulationError):
+            run_single(small_topo, body)
+
+    def test_receive_from_node_uma_machine(self):
+        t = flat_topology(4)
+
+        def body(m, tid):
+            yield ReceiveFromNode(0, 4096)
+
+        m, time = run_single(t, body)
+        assert time > 0
+        assert m.metrics.total_bytes == 4096
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            Receive(0, -5)
+        with pytest.raises(ValueError):
+            ReceiveFromNode(0, -5)
+
+
+class TestWaitYield:
+    def test_wait_blocks_until_fire(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        ev = m.new_event()
+        t0 = m.add_thread("w", bound_pu_os=0)
+        t1 = m.add_thread("f", bound_pu_os=1)
+
+        def waiter():
+            yield Wait(ev)
+            yield Compute(1.0)
+
+        def firer():
+            yield Compute(2.0)
+            ev.fire()
+
+        m.set_body(t0, waiter())
+        m.set_body(t1, firer())
+        assert m.run() == pytest.approx(3.0)
+        assert m.metrics.wait_time == pytest.approx(2.0)
+
+    def test_yield_lets_queued_thread_run(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        t0 = m.add_thread("a", bound_pu_os=0)
+        t1 = m.add_thread("b", bound_pu_os=0)
+        log = []
+
+        def a():
+            log.append("a1")
+            yield Yield()
+            log.append("a2")
+            yield Compute(0.1)
+
+        def b():
+            log.append("b1")
+            yield Compute(0.1)
+
+        m.set_body(t0, a())
+        m.set_body(t1, b())
+        m.run()
+        assert log == ["a1", "b1", "a2"]
+
+    def test_deadlock_detected(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        ev = m.new_event()
+        tid = m.add_thread("stuck", bound_pu_os=0)
+
+        def body():
+            yield Wait(ev)
+
+        m.set_body(tid, body())
+        with pytest.raises(SimulationError, match="deadlock"):
+            m.run()
+
+    def test_non_syscall_yield_rejected(self, small_topo):
+        def body(m, tid):
+            yield "not a syscall"
+
+        with pytest.raises(SimulationError):
+            run_single(small_topo, body)
+
+
+class TestLifecycle:
+    def test_body_required(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        m.add_thread("t", bound_pu_os=0)
+        with pytest.raises(SimulationError, match="no body"):
+            m.run()
+
+    def test_double_run_rejected(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        tid = m.add_thread("t", bound_pu_os=0)
+        m.set_body(tid, iter([]))
+        m.run()
+        with pytest.raises(SimulationError):
+            m.run()
+
+    def test_add_thread_after_run_rejected(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        tid = m.add_thread("t", bound_pu_os=0)
+        m.set_body(tid, iter([]))
+        m.run()
+        with pytest.raises(SimulationError):
+            m.add_thread("late")
+
+    def test_double_body_rejected(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        tid = m.add_thread("t", bound_pu_os=0)
+        m.set_body(tid, iter([]))
+        with pytest.raises(SimulationError):
+            m.set_body(tid, iter([]))
+
+    def test_unknown_bound_pu_rejected(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        with pytest.raises(SimulationError):
+            m.add_thread("t", bound_pu_os=99)
+
+    def test_thread_state_done_after_run(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        tid = m.add_thread("t", bound_pu_os=0)
+        m.set_body(tid, iter([Compute(0.1)]))
+        m.run()
+        assert m.thread(tid).state is ThreadState.DONE
+
+    def test_node_of_thread(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        t0 = m.add_thread("a", bound_pu_os=0)
+        t1 = m.add_thread("b", bound_pu_os=5)
+        m.set_body(t0, iter([]))
+        m.set_body(t1, iter([]))
+        assert m.node_of_thread(t0) == -1  # not placed yet
+        m.run()
+        assert m.node_of_thread(t0) == 0
+        assert m.node_of_thread(t1) == 1
+
+
+class TestUnboundThreads:
+    def test_unbound_threads_spread(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        tids = [m.add_thread(f"t{k}") for k in range(8)]
+        for tid in tids:
+            m.set_body(tid, iter([Compute(1.0)]))
+        total = m.run()
+        # Least-loaded initial placement: 8 threads on 8 PUs in parallel.
+        assert total == pytest.approx(1.0)
+
+    def test_unbound_migration_possible(self, small_topo):
+        m = Machine(
+            small_topo,
+            seed=1,
+            scheduler=SchedulerConfig(
+                migration_quantum=0.01, migration_prob=1.0, imbalance_threshold=1e9
+            ),
+        )
+        tid = m.add_thread("t")
+        m.set_body(tid, iter([Compute(0.05) for _ in range(10)]))
+        m.run()
+        assert m.metrics.migrations > 0
+        assert m.metrics.migration_penalty_time > 0
+
+    def test_bound_thread_never_migrates(self, small_topo):
+        m = Machine(
+            small_topo,
+            seed=1,
+            scheduler=SchedulerConfig(migration_quantum=0.01, migration_prob=1.0),
+        )
+        tid = m.add_thread("t", bound_pu_os=3)
+        m.set_body(tid, iter([Compute(0.05) for _ in range(10)]))
+        m.run()
+        assert m.metrics.migrations == 0
+
+    def test_pull_balancing_resolves_pileup(self, small_topo):
+        """Two unbound compute threads must not share a PU for long."""
+        m = Machine(small_topo, seed=2)
+        # Force both to start on the same PU via a degenerate scheduler
+        # state: bind one, leave one unbound starting anywhere; the
+        # unbound one should be pulled away from busy PUs at work start.
+        tids = [m.add_thread(f"t{k}") for k in range(16)]
+        for tid in tids:
+            m.set_body(tid, iter([Compute(0.1) for _ in range(4)]))
+        total = m.run()
+        # 16 threads x 4 bursts of 0.1s on 8 PUs = 6.4s of work, perfect
+        # packing = 0.8s; allow some slack but far below serialization.
+        assert total < 1.2
+
+    def test_priority_thread_preempts(self, small_topo):
+        m = Machine(small_topo, seed=0)
+        t0 = m.add_thread("heavy", bound_pu_os=0)
+        t1 = m.add_thread("ctl", bound_pu_os=0, priority=True)
+        ev = m.new_event()
+        done_time = []
+
+        def heavy():
+            ev.fire()
+            yield Compute(10.0)
+
+        def ctl():
+            yield Wait(ev)
+            yield Compute(0.001)
+            done_time.append(m.engine.now)
+
+        m.set_body(t0, heavy())
+        m.set_body(t1, ctl())
+        m.run()
+        # The priority thread finished long before the 10 s burst ended.
+        assert done_time[0] < 0.1
+
+
+class TestContentionModel:
+    def test_slowdown_grows_with_inflight(self):
+        c = ContentionModel(2, ContentionConfig(node_capacity=2, interconnect_capacity=4))
+        base = c.slowdown(ObjType.MACHINE, 0)
+        for _ in range(8):
+            c.begin(ObjType.MACHINE, 0)
+        loaded = c.slowdown(ObjType.MACHINE, 0)
+        assert base == 1.0
+        assert loaded > 1.0
+
+    def test_end_releases(self):
+        c = ContentionModel(1, ContentionConfig(node_capacity=1, interconnect_capacity=1))
+        c.begin(ObjType.MACHINE, 0)
+        assert c.node_inflight(0) == 1
+        assert c.interconnect_inflight == 1
+        c.end(ObjType.MACHINE, 0)
+        assert c.node_inflight(0) == 0
+        assert c.interconnect_inflight == 0
+
+    def test_local_levels_uncontended(self):
+        c = ContentionModel(1)
+        c.begin(ObjType.L3, 0)
+        assert c.node_inflight(0) == 0  # cache sharing hits no controller
+
+    def test_numanode_level_hits_dram_not_interconnect(self):
+        c = ContentionModel(2)
+        c.begin(ObjType.NUMANODE, 1)
+        assert c.node_inflight(1) == 1
+        assert c.interconnect_inflight == 0
+
+    def test_contention_slows_transfers_in_machine(self, small_topo):
+        cfg = ContentionConfig(node_capacity=1.0, interconnect_capacity=1.0)
+        m = Machine(small_topo, seed=0, contention=cfg)
+        # 4 remote consumers streaming from node 0 concurrently.
+        tids = [m.add_thread(f"c{k}", bound_pu_os=4 + k) for k in range(4)]
+        for tid in tids:
+            m.set_body(tid, iter([ReceiveFromNode(0, 1 << 20)]))
+        t_contended = m.run()
+
+        m2 = Machine(small_topo, seed=0, contention=cfg)
+        tid = m2.add_thread("c", bound_pu_os=4)
+        m2.set_body(tid, iter([ReceiveFromNode(0, 1 << 20)]))
+        t_single = m2.run()
+        assert t_contended > t_single
+        assert m.metrics.contended_transfers > 0
+
+
+class TestSchedulerUnit:
+    def test_initial_pu_least_loaded(self):
+        s = OsScheduler(4, seed=0)
+        s.occupy(0)
+        s.occupy(1)
+        s.occupy(2)
+        assert s.initial_pu() == 3
+
+    def test_vacate_underflow_asserts(self):
+        s = OsScheduler(2, seed=0)
+        s.occupy(0)
+        s.vacate(0)
+        with pytest.raises(AssertionError):
+            s.vacate(0)
+
+    def test_pull_target_on_imbalance(self):
+        import numpy as np
+
+        s = OsScheduler(4, SchedulerConfig(imbalance_threshold=0.001), seed=0)
+        backlog = np.array([1.0, 0.0, 0.5, 0.7])
+        assert s.pull_target(0, backlog) == 1
+
+    def test_pull_target_balanced_none(self):
+        import numpy as np
+
+        s = OsScheduler(4, SchedulerConfig(imbalance_threshold=0.5), seed=0)
+        backlog = np.array([0.1, 0.0, 0.1, 0.0])
+        assert s.pull_target(0, backlog) is None
+
+    def test_invalid_config(self):
+        with pytest.raises(Exception):
+            SchedulerConfig(migration_quantum=0)
+        with pytest.raises(Exception):
+            SchedulerConfig(migration_prob=2.0)
+
+
+class TestMetricsUnit:
+    def test_summary_keys(self):
+        m = MachineMetrics()
+        keys = set(m.summary())
+        assert "compute_time" in keys and "local_fraction" in keys
+
+    def test_local_fraction_no_traffic(self):
+        assert MachineMetrics().local_fraction == 1.0
+
+    def test_local_fraction_mixed(self):
+        m = MachineMetrics()
+        m.record_transfer(ObjType.L3, 100, 0.1)
+        m.record_transfer(ObjType.MACHINE, 300, 0.1)
+        assert m.local_fraction == pytest.approx(0.25)

@@ -1,0 +1,141 @@
+"""Cross-module property-based tests (hypothesis).
+
+These pin the global invariants of the pipeline: any affinity matrix on
+any balanced topology yields a valid mapping; simulations are
+deterministic under a fixed seed; the ORWL round protocol neither
+deadlocks nor loses requests for arbitrary small stencil programs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.comm import patterns
+from repro.comm.matrix import CommMatrix
+from repro.kernels.lk23_orwl import Lk23Config, build_program
+from repro.orwl.runtime import Runtime
+from repro.placement.binder import bind_program
+from repro.simulate.machine import Machine
+from repro.topology.builder import from_spec
+from repro.treematch.algorithm import tree_match
+
+# Small balanced topology specs that keep runs fast.
+topo_specs = st.sampled_from(
+    [
+        "numa:2 package:1 l3:1 core:2 pu:1",
+        "numa:2 package:1 l3:1 core:4 pu:1",
+        "numa:4 package:1 l3:1 core:2 pu:1",
+        "numa:2 package:1 l3:1 core:2 pu:2",
+        "core:8 pu:1",
+    ]
+)
+
+
+@st.composite
+def random_matrices(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    m = rng.random((n, n)) * 100
+    m = m + m.T
+    np.fill_diagonal(m, 0.0)
+    return CommMatrix(m)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=topo_specs, matrix=random_matrices())
+def test_treematch_always_yields_valid_mapping(spec, matrix):
+    topo = from_spec(spec)
+    result = tree_match(topo, matrix)
+    mapping = result.mapping
+    assert mapping.n_threads == matrix.order
+    mapping.validate_against(topo)
+    assert mapping.bound_fraction() == 1.0
+    # Load never exceeds the oversubscription factor.
+    import math
+
+    factor = math.ceil(matrix.order / topo.nb_pus)
+    assert mapping.max_load() <= factor
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    rows=st.integers(min_value=1, max_value=3),
+    cols=st.integers(min_value=2, max_value=3),
+    iterations=st.integers(min_value=1, max_value=3),
+    policy=st.sampled_from(["treematch", "compact", "nobind"]),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_lk23_never_deadlocks(rows, cols, iterations, policy, seed):
+    """Any small LK23 decomposition completes under any placement."""
+    topo = from_spec("numa:2 package:1 l3:1 core:4 pu:1")
+    cfg = Lk23Config(n=128, grid_rows=rows, grid_cols=cols, iterations=iterations)
+    prog = build_program(cfg)
+    plan = bind_program(prog, topo, policy=policy)
+    machine = Machine(topo, seed=seed)
+    rt = Runtime(prog, machine, mapping=plan.mapping,
+                 control_mapping=plan.control_mapping)
+    result = rt.run()
+    assert result.time > 0
+    # Clean teardown: all FIFOs drained.
+    for loc in prog.locations.values():
+        assert len(loc.fifo) == 0
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_simulation_deterministic_under_seed(seed):
+    """Identical configuration + seed => identical simulated time."""
+
+    def run_once():
+        topo = from_spec("numa:2 package:1 l3:1 core:4 pu:1")
+        cfg = Lk23Config(n=256, grid_rows=2, grid_cols=2, iterations=2)
+        prog = build_program(cfg)
+        plan = bind_program(prog, topo, policy="nobind")
+        machine = Machine(topo, seed=seed)
+        rt = Runtime(prog, machine, mapping=plan.mapping,
+                     control_mapping=plan.control_mapping)
+        return rt.run().time
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+)
+def test_stencil_matrix_matches_grid_structure(rows, cols):
+    """Every stencil matrix entry corresponds to a geometric adjacency."""
+    m = patterns.stencil_2d(rows, cols, edge_volume=10.0)
+    vals = m.values
+    for i in range(m.order):
+        ri, ci = divmod(i, cols)
+        for j in range(m.order):
+            if i == j:
+                continue
+            rj, cj = divmod(j, cols)
+            adjacent = max(abs(ri - rj), abs(ci - cj)) == 1
+            assert (vals[i, j] > 0) == adjacent
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrix=random_matrices(), extra=st.integers(min_value=0, max_value=4))
+def test_matrix_extension_preserves_volumes(matrix, extra):
+    ext = matrix.extended(extra)
+    assert ext.order == matrix.order + extra
+    assert ext.total_volume() == pytest.approx(matrix.total_volume())
+
+
+@settings(max_examples=20, deadline=None)
+@given(matrix=random_matrices())
+def test_aggregation_conserves_cross_volume(matrix):
+    """Aggregating into pairs keeps exactly the inter-group volume."""
+    n = matrix.order
+    if n % 2 == 1:
+        matrix = matrix.extended(1)
+        n += 1
+    groups = [[2 * k, 2 * k + 1] for k in range(n // 2)]
+    agg = matrix.aggregated(groups)
+    intra = sum(matrix.volume(g[0], g[1]) for g in groups)
+    assert agg.total_volume() == pytest.approx(matrix.total_volume() - intra)

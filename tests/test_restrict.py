@@ -1,0 +1,79 @@
+"""Tests for topology restriction and the `allowed` mapping constraint."""
+
+import pytest
+
+from repro.comm import patterns
+from repro.topology import presets, restrict, restrict_to_objects
+from repro.topology.cpuset import CpuSet
+from repro.topology.objects import ObjType
+from repro.topology.tree import TopologyError
+from repro.treematch.algorithm import tree_match
+
+
+class TestRestrict:
+    def test_keep_one_node(self, small_topo):
+        sub = restrict(small_topo, CpuSet.from_range(0, 4))
+        assert sub.nb_pus == 4
+        assert sub.nbobjs_by_type(ObjType.NUMANODE) == 1
+        assert [p.os_index for p in sub.pus()] == [0, 1, 2, 3]
+
+    def test_os_indices_preserved(self, small_topo):
+        sub = restrict(small_topo, CpuSet.from_range(4, 8))
+        assert [p.os_index for p in sub.pus()] == [4, 5, 6, 7]
+
+    def test_attributes_preserved(self, small_topo):
+        sub = restrict(small_topo, CpuSet.from_range(0, 4))
+        l3 = sub.objects_by_type(ObjType.L3)[0]
+        assert l3.cache is not None and l3.cache.size > 0
+
+    def test_partial_core_restriction(self, ht_topo):
+        # Keep only one hyperthread of each core of node 0.
+        sub = restrict(ht_topo, CpuSet([0, 2]))
+        assert sub.nb_pus == 2
+        assert sub.nbobjs_by_type(ObjType.CORE) == 2
+
+    def test_empty_intersection_rejected(self, small_topo):
+        with pytest.raises(TopologyError):
+            restrict(small_topo, CpuSet([99]))
+
+    def test_original_untouched(self, small_topo):
+        restrict(small_topo, CpuSet.from_range(0, 4))
+        assert small_topo.nb_pus == 8
+
+    def test_restrict_to_objects(self):
+        t = presets.paper_smp(8, 8)
+        sub = restrict_to_objects(t, ObjType.NUMANODE, 3)
+        assert sub.nb_pus == 24
+        assert sub.nbobjs_by_type(ObjType.NUMANODE) == 3
+        assert sub.arities() == [3, 1, 1, 8, 1]
+
+    def test_restrict_to_objects_bad_count(self, small_topo):
+        with pytest.raises(TopologyError):
+            restrict_to_objects(small_topo, ObjType.NUMANODE, 5)
+        with pytest.raises(TopologyError):
+            restrict_to_objects(small_topo, ObjType.NUMANODE, 0)
+
+
+class TestAllowedConstraint:
+    def test_mapping_stays_inside_allowed(self):
+        topo = presets.paper_smp(4, 8)
+        allowed = CpuSet.from_range(8, 24)  # sockets 1 and 2 only
+        m = patterns.stencil_2d(4, 4, edge_volume=100.0)
+        result = tree_match(topo, m, allowed=allowed)
+        for t in range(result.mapping.n_threads):
+            assert result.mapping.pu(t) in allowed
+
+    def test_allowed_oversubscription(self):
+        topo = presets.paper_smp(4, 8)
+        allowed = CpuSet.from_range(0, 8)  # one socket for 16 threads
+        m = patterns.stencil_2d(4, 4, edge_volume=100.0)
+        result = tree_match(topo, m, allowed=allowed)
+        assert result.mapping.max_load() == 2
+        assert all(result.mapping.pu(t) in allowed for t in range(16))
+
+    def test_allowed_mapping_valid_on_full_machine(self):
+        topo = presets.paper_smp(4, 8)
+        allowed = CpuSet.from_range(16, 32)
+        m = patterns.ring(8)
+        result = tree_match(topo, m, allowed=allowed)
+        result.mapping.validate_against(topo)  # os indices are global

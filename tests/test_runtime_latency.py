@@ -1,0 +1,144 @@
+"""Tests for grant-message latency, scaling efficiency, and model
+stability across seeds."""
+
+import pytest
+
+from repro.experiments.fig1 import Fig1Point, Fig1Result
+from repro.orwl import AccessMode, Program, Runtime, RuntimeConfig
+from repro.simulate.machine import Machine
+from repro.treematch.mapping import Mapping
+
+
+def _grant_latency_program(iterations=50):
+    """Two ops ping-ponging a zero-byte lock: the total time is
+    dominated by grant service + grant-message latency."""
+    prog = Program("grants")
+    loc = prog.location("l", 0, owner_task="a")
+    a = prog.task("a").operation("main", body=None)
+    ha = a.handle(loc, AccessMode.WRITE)
+
+    def wa(ctx):
+        for _ in range(iterations):
+            yield from ctx.acquire(ha)
+            ctx.next(ha)
+
+    a.body = wa
+    b = prog.task("b").operation("main", body=None)
+    hb = b.handle(loc, AccessMode.WRITE)
+
+    def wb(ctx):
+        for _ in range(iterations):
+            yield from ctx.acquire(hb)
+            ctx.next(hb)
+
+    b.body = wb
+    return prog
+
+
+class TestGrantMessageLatency:
+    def test_far_waiter_pays_more(self, small_topo):
+        """Moving the waiter across the machine increases total time
+        even with zero payload: grant messages follow the topology."""
+        times = {}
+        for key, pus in [("near", (0, 1)), ("far", (0, 4))]:
+            prog = _grant_latency_program()
+            machine = Machine(small_topo, seed=0)
+            # Bind control threads next to the location owner.
+            rt = Runtime(
+                prog,
+                machine,
+                mapping=Mapping(pus),
+                control_mapping=Mapping((0, pus[1])),
+            )
+            times[key] = rt.run().time
+        assert times["far"] > times["near"]
+
+    def test_direct_grants_skip_message_latency(self, small_topo):
+        prog = _grant_latency_program()
+        machine = Machine(small_topo, seed=0)
+        rt = Runtime(
+            prog, machine, mapping=Mapping((0, 4)),
+            config=RuntimeConfig(control_threads=False, direct_grant_latency=0.0),
+        )
+        t_direct = rt.run().time
+        prog2 = _grant_latency_program()
+        machine2 = Machine(small_topo, seed=0)
+        rt2 = Runtime(
+            prog2, machine2, mapping=Mapping((0, 4)),
+            control_mapping=Mapping((0, 0)),
+        )
+        t_ctl = rt2.run().time
+        assert t_ctl > t_direct
+
+
+class TestEfficiency:
+    def _result(self):
+        res = Fig1Result()
+        for cores, t in [(8, 8.0), (16, 4.4), (32, 2.4)]:
+            res.points.append(Fig1Point("orwl-bind", cores, t, 1.0, 0, 0.0))
+        return res
+
+    def test_speedup_curve(self):
+        curve = self._result().speedup_curve("orwl-bind")
+        assert curve[0] == (8, 1.0)
+        assert curve[1][1] == pytest.approx(8.0 / 4.4)
+
+    def test_efficiency(self):
+        res = self._result()
+        # 32 cores: speedup 8/2.4 = 3.33 vs ideal 4 -> 0.83
+        assert res.efficiency("orwl-bind", 32) == pytest.approx((8 / 2.4) / 4)
+        assert res.efficiency("orwl-bind", 8) == pytest.approx(1.0)
+
+    def test_efficiency_unknown(self):
+        with pytest.raises(KeyError):
+            Fig1Result().efficiency("orwl-bind", 8)
+
+    def test_table_with_efficiency(self):
+        table = self._result().table(show_efficiency=True)
+        assert "(100%)" in table  # the base point
+        assert "%" in table.splitlines()[3]
+
+    @pytest.mark.slow
+    def test_bind_scaling_efficiency_floor(self):
+        """ORWL-Bind keeps ≥ 55 % strong-scaling efficiency to 96 cores
+        on the paper workload (8 -> 96 is a 12x ideal)."""
+        from repro.experiments.fig1 import run_fig1
+
+        res = run_fig1(core_counts=(8, 96), iterations=3, n=16384,
+                       implementations=("orwl-bind",))
+        assert res.efficiency("orwl-bind", 96) > 0.55
+
+
+class TestSeedStability:
+    @pytest.mark.slow
+    def test_nobind_variance_bounded(self):
+        """The NoBind model is noisy by design, but not wildly so: the
+        spread across seeds stays within ±35 % of the median."""
+        from repro.experiments.fig1 import run_point
+
+        times = [
+            run_point("orwl-nobind", 32, iterations=3, n=8192, seed=s).time
+            for s in (0, 1, 2)
+        ]
+        med = sorted(times)[1]
+        assert max(times) < 1.35 * med
+        assert min(times) > 0.65 * med
+
+    def test_fully_bound_seed_invariant(self):
+        """When *everything* is bound (spare-cores control branch), no
+        scheduler randomness remains: identical times across seeds."""
+        from repro import run_lk23
+
+        t0 = run_lk23(topology="small-numa", tasks=2, iterations=2, n=1024, seed=0)
+        t1 = run_lk23(topology="small-numa", tasks=2, iterations=2, n=1024, seed=7)
+        assert t0.plan.mapping.bound_fraction() == 1.0  # all threads bound
+        assert t0.time == t1.time
+
+    def test_bind_nearly_seed_invariant_when_control_unbound(self):
+        """With the paper's UNMAPPED control branch only the (cheap)
+        control threads float, so seeds move the time < 5 %."""
+        from repro.experiments.fig1 import run_point
+
+        t0 = run_point("orwl-bind", 8, iterations=2, n=2048, seed=0).time
+        t1 = run_point("orwl-bind", 8, iterations=2, n=2048, seed=7).time
+        assert t1 == pytest.approx(t0, rel=0.05)

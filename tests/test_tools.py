@@ -1,0 +1,165 @@
+"""Tests for the CLI tools and host-topology discovery."""
+
+import pytest
+
+from repro.comm import patterns
+from repro.tools import fig1 as fig1_cli
+from repro.tools import lstopo as lstopo_cli
+from repro.tools import treematch as tm_cli
+from repro.tools._common import resolve_topology
+from repro.topology import serialize
+from repro.topology.discover import discover, discover_linux
+from repro.topology import presets
+
+
+class TestResolveTopology:
+    def test_preset_name(self):
+        assert resolve_topology("small-numa").nb_pus == 8
+
+    def test_spec_string(self):
+        assert resolve_topology("numa:2 core:2 pu:1").nb_pus == 4
+
+    def test_json_file(self, tmp_path):
+        p = tmp_path / "t.json"
+        serialize.save(presets.small_numa(), p)
+        assert resolve_topology(str(p)).nb_pus == 8
+
+    def test_garbage_exits(self):
+        with pytest.raises(SystemExit):
+            resolve_topology("certainly not a topology ###")
+
+
+class TestLstopo:
+    def test_render_default(self, capsys):
+        assert lstopo_cli.main(["small-numa"]) == 0
+        out = capsys.readouterr().out
+        assert "Machine#0" in out
+        assert "PU: 8" in out
+
+    def test_summary_flag(self, capsys):
+        lstopo_cli.main(["small-numa", "--summary"])
+        out = capsys.readouterr().out
+        assert "Machine#0" not in out
+        assert "NUMANODE: 2" in out
+
+    def test_export(self, tmp_path, capsys):
+        dest = tmp_path / "out.json"
+        lstopo_cli.main(["small-numa", "--export", str(dest)])
+        assert serialize.load(dest).nb_pus == 8
+
+
+class TestTreematchCli:
+    def test_demo_mode(self, capsys):
+        assert tm_cli.main(["--demo", "small-numa"]) == 0
+        out = capsys.readouterr().out
+        assert "treematch on" in out
+        assert "numa-cut" in out
+
+    def test_matrix_file(self, tmp_path, capsys):
+        mat = patterns.stencil_2d(2, 4)
+        path = tmp_path / "m.txt"
+        mat.save(path)
+        assert tm_cli.main([str(path), "small-numa"]) == 0
+        out = capsys.readouterr().out
+        assert "b0.0" in out  # stencil labels listed
+
+    def test_policy_choice(self, capsys):
+        assert tm_cli.main(["--demo", "small-numa", "--policy", "compact"]) == 0
+        assert "compact on" in capsys.readouterr().out
+
+    def test_missing_matrix_errors(self):
+        with pytest.raises(SystemExit):
+            tm_cli.main([])
+
+
+class TestFig1Cli:
+    def test_small_sweep(self, capsys):
+        assert fig1_cli.main(["--cores", "8", "--iterations", "2", "--n", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "orwl-bind" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        dest = tmp_path / "fig1.csv"
+        fig1_cli.main(
+            ["--cores", "8", "--iterations", "2", "--n", "1024", "--csv", str(dest)]
+        )
+        lines = dest.read_text().splitlines()
+        assert lines[0].startswith("implementation,")
+        assert len(lines) == 4  # header + 3 implementations
+
+
+class TestSimulateCli:
+    def test_runs_small(self, capsys):
+        from repro.tools import simulate as sim_cli
+
+        rc = sim_cli.main(
+            ["--topology", "small-numa", "--iterations", "2", "--n", "1024"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "processing" in out
+        assert "NUMA-local" in out
+
+    def test_report_flag(self, capsys):
+        from repro.tools import simulate as sim_cli
+
+        sim_cli.main(
+            ["--topology", "small-numa", "--iterations", "2", "--n", "1024",
+             "--report"]
+        )
+        out = capsys.readouterr().out
+        assert "Placement report" in out
+
+    def test_nobind_policy(self, capsys):
+        from repro.tools import simulate as sim_cli
+
+        rc = sim_cli.main(
+            ["--topology", "small-numa", "--policy", "nobind",
+             "--iterations", "2", "--n", "1024"]
+        )
+        assert rc == 0
+
+
+class TestValidateCli:
+    def test_default_model_passes(self, capsys):
+        from repro.tools import validate as val_cli
+
+        assert val_cli.main(["small-numa"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_cluster_costs_flag(self, capsys):
+        from repro.tools import validate as val_cli
+
+        assert val_cli.main(["cluster", "--cluster-costs"]) == 0
+
+
+class TestReproduceCli:
+    @pytest.mark.slow
+    def test_full_reproduction_passes(self, capsys):
+        from repro.tools import reproduce as rep_cli
+
+        rc = rep_cli.main(["--cores", "8", "96", "192", "--iterations", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "[PASS] C2" in out
+        assert "All claims reproduced." in out
+
+
+class TestDiscover:
+    def test_discover_best_effort(self):
+        topo = discover()
+        # On Linux CI this succeeds; elsewhere None is acceptable.
+        if topo is not None:
+            assert topo.nb_pus >= 1
+            assert topo.arities()  # balanced envelope
+
+    def test_discover_linux_on_this_host(self):
+        import pathlib
+
+        if not pathlib.Path("/sys/devices/system/cpu").is_dir():
+            pytest.skip("no sysfs")
+        topo = discover_linux()
+        assert topo is not None
+        import os
+
+        assert topo.nb_pus >= 1
