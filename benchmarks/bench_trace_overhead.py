@@ -1,0 +1,57 @@
+"""Tracing must stay cheap: traced runs within 1.3x of untraced.
+
+The observability layer's contract (see ``repro.observe.tracer``) is one
+``is None`` check per activity when disabled and one event construction
+plus append when enabled.  This benchmark pins that contract with wall
+time: the same medium LK23 simulation, traced and untraced, best-of-N
+each (best-of, not mean, to shed scheduler noise on shared CI boxes).
+
+The workload is deliberately medium-sized: on tiny runs fixed setup
+costs dominate and the ratio is meaningless; on this one the simulator
+executes a few thousand engine events per run.
+"""
+
+import time
+
+from repro.core.api import run_lk23
+
+CONFIG = dict(
+    policy="treematch", topology="small-numa", n=4096, iterations=8, seed=0
+)
+ROUNDS = 5
+MAX_RATIO = 1.3
+
+
+def run_once(trace: bool) -> None:
+    run_lk23(trace=trace, **CONFIG)
+
+
+def best_of(trace: bool, rounds: int = ROUNDS) -> float:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run_once(trace)
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def test_trace_overhead_within_bound(benchmark):
+    # Warm both paths (imports, numpy, bytecode) before timing anything.
+    run_once(False)
+    run_once(True)
+    untraced = best_of(False)
+    traced = benchmark.pedantic(lambda: best_of(True), rounds=1, iterations=1)
+    ratio = traced / untraced
+    benchmark.extra_info["untraced_s"] = untraced
+    benchmark.extra_info["traced_s"] = traced
+    benchmark.extra_info["ratio"] = ratio
+    assert ratio <= MAX_RATIO, (
+        f"tracing overhead {ratio:.2f}x exceeds {MAX_RATIO}x "
+        f"(untraced {untraced:.4f}s, traced {traced:.4f}s)"
+    )
+
+
+def test_untraced_machine_has_no_tracer_path():
+    """The disabled path must not even allocate a tracer."""
+    result = run_lk23(trace=False, **CONFIG)
+    assert result.trace is None

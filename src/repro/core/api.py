@@ -9,7 +9,10 @@ most benchmarks go through this façade.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.tracer import Tracer
 
 from repro.comm.patterns import square_grid_shape
 from repro.kernels.lk23_orwl import Lk23Config, build_program
@@ -43,6 +46,10 @@ class ExperimentConfig:
         Mapping granularity, ``"task"`` (paper mode) or ``"op"``.
     seed:
         Simulation seed (scheduler noise, jitter).
+    trace:
+        Attach a :class:`repro.observe.Tracer` to the machine; the
+        structured event stream lands in :attr:`ExperimentResult.trace`
+        (exportable, hashable, invariant-checkable).
     """
 
     topology: Topology | str = "paper-smp"
@@ -52,6 +59,7 @@ class ExperimentConfig:
     tasks: Optional[int] = None
     granularity: str = "task"
     seed: int = 0
+    trace: bool = False
 
     def resolve_topology(self) -> Topology:
         if isinstance(self.topology, Topology):
@@ -71,6 +79,8 @@ class ExperimentResult:
     plan: BindPlan
     #: the configuration that produced this result.
     config: ExperimentConfig
+    #: structured event stream (None unless ``config.trace``).
+    trace: Optional["Tracer"] = None
 
     def summary(self) -> dict[str, float]:
         out = {"time": self.time}
@@ -102,12 +112,19 @@ def run_lk23(config: ExperimentConfig | None = None, **overrides) -> ExperimentR
     plan = bind_program(
         program, topo, policy=config.policy, granularity=config.granularity
     )
-    machine = Machine(topo, seed=config.seed)
+    tracer = None
+    if config.trace:
+        from repro.observe.tracer import Tracer
+
+        tracer = Tracer()
+    machine = Machine(topo, seed=config.seed, tracer=tracer)
     runtime = Runtime(
         program, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
     )
     run = runtime.run()
-    return ExperimentResult(time=run.time, metrics=run.metrics, plan=plan, config=config)
+    return ExperimentResult(
+        time=run.time, metrics=run.metrics, plan=plan, config=config, trace=run.trace
+    )
 
 
 def compare_policies(

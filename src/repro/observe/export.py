@@ -1,0 +1,172 @@
+"""Trace exporters: JSON-lines (lossless) and Chrome ``trace_event``.
+
+JSON-lines is the archival format: one event per line, every field,
+floats round-tripped exactly (Python's ``json`` emits shortest-repr
+floats), so ``read_jsonl(write_jsonl(events)) == events`` bit for bit —
+the determinism tests rely on this.
+
+The Chrome format targets timeline viewers (Perfetto / ``ui.perfetto.dev``,
+``chrome://tracing``): spans become complete (``"ph": "X"``) events and
+instants become ``"ph": "i"`` marks, grouped one track per simulated
+thread, with thread-name metadata.  Timestamps are microseconds, per the
+spec.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+from repro.observe.tracer import TraceEvent
+
+PathOrFile = Union[str, Path, IO[str]]
+
+#: JSONL field order (stable across releases; importer tolerates extras).
+_FIELDS = (
+    "seq", "kind", "ts", "dur", "tid", "thread", "pu", "node",
+    "level", "nbytes", "detail",
+)
+
+#: Chrome track used for machine-level events (scheduler decisions,
+#: direct grants) that belong to no simulated thread.
+MACHINE_TRACK_TID = 1_000_000
+
+
+def _open(dst: PathOrFile, mode: str):
+    if isinstance(dst, (str, Path)):
+        return open(dst, mode, encoding="utf-8"), True
+    return dst, False
+
+
+# -- JSON-lines -------------------------------------------------------------
+
+def event_to_dict(ev: TraceEvent) -> dict:
+    return {name: getattr(ev, name) for name in _FIELDS}
+
+
+def event_from_dict(d: dict) -> TraceEvent:
+    return TraceEvent(
+        seq=int(d["seq"]),
+        kind=str(d["kind"]),
+        ts=float(d["ts"]),
+        dur=float(d.get("dur", 0.0)),
+        tid=int(d.get("tid", -1)),
+        thread=str(d.get("thread", "")),
+        pu=int(d.get("pu", -1)),
+        node=int(d.get("node", -1)),
+        level=str(d.get("level", "")),
+        nbytes=float(d.get("nbytes", 0.0)),
+        detail=str(d.get("detail", "")),
+    )
+
+
+def write_jsonl(events: Iterable[TraceEvent], dst: PathOrFile) -> int:
+    """Write one JSON object per line; returns the number of events."""
+    fp, close = _open(dst, "w")
+    n = 0
+    try:
+        for ev in events:
+            fp.write(json.dumps(event_to_dict(ev), separators=(",", ":")))
+            fp.write("\n")
+            n += 1
+    finally:
+        if close:
+            fp.close()
+    return n
+
+
+def read_jsonl(src: PathOrFile) -> list[TraceEvent]:
+    """Read a stream written by :func:`write_jsonl` (blank lines skipped)."""
+    fp, close = _open(src, "r")
+    try:
+        return [
+            event_from_dict(json.loads(line))
+            for line in fp
+            if line.strip()
+        ]
+    finally:
+        if close:
+            fp.close()
+
+
+def dumps_jsonl(events: Iterable[TraceEvent]) -> str:
+    buf = io.StringIO()
+    write_jsonl(events, buf)
+    return buf.getvalue()
+
+
+def loads_jsonl(text: str) -> list[TraceEvent]:
+    return read_jsonl(io.StringIO(text))
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+def chrome_payload(events: Iterable[TraceEvent], process_name: str = "repro-sim") -> dict:
+    """Build the ``{"traceEvents": [...]}`` payload for a viewer.
+
+    Spans map to complete events; instants to thread-scoped instant
+    events.  The simulated clock (seconds) becomes microseconds.  Extra
+    per-event data (pu, node, level, nbytes, detail) lands in ``args``
+    so the viewer shows it on selection.
+    """
+    out: list[dict] = [
+        {
+            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    seen_threads: dict[int, str] = {}
+    for ev in events:
+        tid = ev.tid if ev.tid >= 0 else MACHINE_TRACK_TID
+        if tid not in seen_threads:
+            seen_threads[tid] = ev.thread or (
+                "machine" if tid == MACHINE_TRACK_TID else f"tid{tid}"
+            )
+        args = {"seq": ev.seq, "pu": ev.pu, "node": ev.node}
+        if ev.level:
+            args["level"] = ev.level
+        if ev.nbytes:
+            args["nbytes"] = ev.nbytes
+        if ev.detail:
+            args["detail"] = ev.detail
+        name = ev.kind if not ev.level else f"{ev.kind}[{ev.level}]"
+        rec: dict = {
+            "name": name,
+            "cat": ev.kind,
+            "pid": 0,
+            "tid": tid,
+            "ts": ev.ts * 1e6,
+            "args": args,
+        }
+        if ev.is_span():
+            rec["ph"] = "X"
+            rec["dur"] = ev.dur * 1e6
+        else:
+            rec["ph"] = "i"
+            rec["s"] = "t"
+        out.append(rec)
+    for tid, name in sorted(seen_threads.items()):
+        out.append(
+            {
+                "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome(
+    events: Iterable[TraceEvent], dst: PathOrFile, process_name: str = "repro-sim"
+) -> int:
+    """Write a Chrome/Perfetto-loadable JSON file; returns event count."""
+    payload = chrome_payload(events, process_name=process_name)
+    fp, close = _open(dst, "w")
+    try:
+        json.dump(payload, fp)
+    finally:
+        if close:
+            fp.close()
+    # Metadata records are not trace events proper.
+    return sum(1 for r in payload["traceEvents"] if r["ph"] != "M")

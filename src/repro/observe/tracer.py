@@ -1,0 +1,207 @@
+"""Structured trace events and the tracer that collects them.
+
+The simulator's counters (:class:`~repro.simulate.metrics.MachineMetrics`)
+are write-only aggregates: good for headline numbers, useless for
+auditing *where* each byte and second went.  The tracer records one
+:class:`TraceEvent` per machine activity — compute bursts, transfers
+(tagged with the sharing level the bytes crossed), lock waits, run-queue
+waits, migrations, lock grants, scheduler decisions — forming an
+append-only stream that
+
+* exports to JSON-lines and Chrome ``trace_event`` format
+  (:mod:`repro.observe.export`),
+* is audited against the aggregate counters by
+  :class:`repro.observe.invariants.InvariantChecker`,
+* hashes to a determinism fingerprint
+  (:mod:`repro.observe.determinism`).
+
+Overhead discipline: a machine without a tracer pays one ``is None``
+check per activity; with a tracer, one object construction and append.
+``benchmarks/bench_trace_overhead.py`` pins the enabled/disabled ratio.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+#: Event kinds whose ``[ts, ts + dur]`` is an exclusive occupation of the
+#: thread (spans must not overlap within one thread).  All other kinds
+#: are instants or annotations: ``migration`` carries the cache-refill
+#: penalty in ``dur`` but the penalty is *charged into* the next span.
+SPAN_KINDS = frozenset({"compute", "transfer", "wait", "runq"})
+
+#: All kinds the simulator emits (exporters map anything else verbatim).
+KNOWN_KINDS = SPAN_KINDS | frozenset(
+    {"migration", "grant", "sched", "thread_start", "thread_end"}
+)
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One traced activity of the simulated machine.
+
+    Attributes
+    ----------
+    seq:
+        Emission order (monotonic per tracer; ties the stream together).
+    kind:
+        Activity class — see :data:`SPAN_KINDS` / :data:`KNOWN_KINDS`.
+    ts, dur:
+        Span start and duration in simulated seconds.  Instants have
+        ``dur == 0``; ``migration`` events carry the charged penalty.
+    tid, thread:
+        Simulator thread id and name (``-1`` / ``""`` for machine-level
+        events such as scheduler decisions).
+    pu, node:
+        Logical PU and NUMA-node indices where the activity happened
+        (``-1`` when not applicable).
+    level:
+        Sharing level a transfer crossed (``"L3"``, ``"NUMANODE"``,
+        ``"MACHINE"``, ...); empty for non-transfers.
+    nbytes:
+        Payload size for transfers, 0 otherwise.
+    detail:
+        Free-form tag: the awaited event's name for waits, the request
+        tag for grants, ``"pull:src->dst"`` style for migrations.
+    """
+
+    seq: int
+    kind: str
+    ts: float
+    dur: float = 0.0
+    tid: int = -1
+    thread: str = ""
+    pu: int = -1
+    node: int = -1
+    level: str = ""
+    nbytes: float = 0.0
+    detail: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    def is_span(self) -> bool:
+        return self.kind in SPAN_KINDS
+
+
+#: A probe receives every event as it is emitted (live monitoring,
+#: streaming export, online invariant checks).
+Probe = Callable[[TraceEvent], None]
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` s and fans them out to probes.
+
+    One tracer per machine run.  Attach with
+    ``Machine(..., tracer=Tracer())`` or
+    :meth:`repro.simulate.machine.Machine.attach_tracer`.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._probes: list[Probe] = []
+        self._seq = 0
+        #: engine steps observed (wired to :attr:`Engine.probe`).
+        self.engine_steps = 0
+        #: simulated-clock regressions seen (should stay 0 forever).
+        self.clock_regressions = 0
+        self._last_engine_ts = 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        ts: float,
+        dur: float = 0.0,
+        tid: int = -1,
+        thread: str = "",
+        pu: int = -1,
+        node: int = -1,
+        level: str = "",
+        nbytes: float = 0.0,
+        detail: str = "",
+    ) -> TraceEvent:
+        """Record one event; returns it (probes already notified)."""
+        ev = TraceEvent(
+            self._seq, kind, ts, dur, tid, thread, pu, node, level, nbytes, detail
+        )
+        self._seq += 1
+        self._events.append(ev)
+        for probe in self._probes:
+            probe(ev)
+        return ev
+
+    def add_probe(self, probe: Probe) -> None:
+        """Subscribe *probe* to every future event."""
+        self._probes.append(probe)
+
+    def on_engine_step(self, now: float) -> None:
+        """Engine hook: count steps, watch for clock regressions."""
+        if now < self._last_engine_ts:
+            self.clock_regressions += 1
+        self._last_engine_ts = now
+        self.engine_steps += 1
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def for_thread(self, tid: int) -> list[TraceEvent]:
+        return [e for e in self._events if e.tid == tid]
+
+    def for_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def counts(self) -> Counter:
+        """``{kind: number of events}``."""
+        return Counter(e.kind for e in self._events)
+
+    def total(self, kind: str, field_: str = "dur") -> float:
+        """Sum of a numeric field over all events of *kind*."""
+        return sum(getattr(e, field_) for e in self._events if e.kind == kind)
+
+    def stream_hash(self) -> str:
+        """Determinism fingerprint of the full stream (sha-256 hex)."""
+        from repro.observe.determinism import stream_hash
+
+        return stream_hash(self._events)
+
+
+@dataclass
+class TraceSummary:
+    """Cheap aggregate view of a stream (for reports and sanity prints)."""
+
+    events: int = 0
+    spans: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+    busy_by_kind: dict = field(default_factory=dict)
+    bytes_by_level: Counter = field(default_factory=Counter)
+    makespan: float = 0.0
+
+    @classmethod
+    def of(cls, events: Iterable[TraceEvent]) -> "TraceSummary":
+        s = cls()
+        busy: dict[str, float] = {}
+        for e in events:
+            s.events += 1
+            s.by_kind[e.kind] += 1
+            if e.is_span():
+                s.spans += 1
+                busy[e.kind] = busy.get(e.kind, 0.0) + e.dur
+                s.makespan = max(s.makespan, e.end)
+            if e.kind == "transfer" and e.level:
+                s.bytes_by_level[e.level] += e.nbytes
+        s.busy_by_kind = busy
+        return s

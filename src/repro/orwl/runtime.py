@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.comm.trace import CommTracer
 from repro.orwl.fifo import AccessMode, Request
@@ -39,6 +39,9 @@ from repro.simulate.metrics import MachineMetrics
 from repro.simulate.syscalls import Compute, Receive, Wait
 from repro.treematch.mapping import Mapping
 from repro.util.validate import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.tracer import Tracer
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,9 @@ class RunResult:
     mapping: Mapping
     #: events processed by the simulation engine (diagnostics).
     engine_events: int = 0
+    #: structured machine trace (None unless a repro.observe.Tracer was
+    #: attached to the machine before the run).
+    trace: Optional["Tracer"] = None
 
 
 class _ControlQueue:
@@ -284,6 +290,7 @@ class Runtime:
             if cq is None:
                 # No control thread for this location: direct grant.
                 self.event_of(req).fire(delay=self.config.direct_grant_latency)
+                self._trace_grant(-1, req)
                 return
             cq.jobs.append(req)
             if cq.waiter is not None:
@@ -291,6 +298,22 @@ class Runtime:
                 w.fire()
 
         return route
+
+    def _trace_grant(self, ctl_tid: int, req: Request) -> None:
+        """Emit a structured grant event (ctl_tid -1 = direct grant)."""
+        tracer = self.machine.tracer
+        if tracer is None:
+            return
+        pu = self.machine.thread(ctl_tid).current_pu if ctl_tid >= 0 else -1
+        tracer.emit(
+            "grant",
+            ts=self.machine.engine.now,
+            tid=ctl_tid,
+            thread=self.machine.thread(ctl_tid).name if ctl_tid >= 0 else "",
+            pu=pu,
+            node=self.machine.node_of_thread(ctl_tid) if ctl_tid >= 0 else -1,
+            detail=req.tag,
+        )
 
     def _grant_message_latency(self, ctl_tid: int, req: Request) -> float:
         """Latency of the grant message from control thread to waiter.
@@ -319,6 +342,7 @@ class Runtime:
                 self.event_of(req).fire(
                     delay=self._grant_message_latency(ctl_tid, req)
                 )
+                self._trace_grant(ctl_tid, req)
             if cq.shutdown:
                 return
             ev = self.machine.new_event("ctl-wake")
@@ -355,6 +379,7 @@ class Runtime:
             tracer=self.tracer,
             mapping=self.mapping,
             engine_events=self.machine.engine.events_fired,
+            trace=self.machine.tracer,
         )
 
     def tid_of_op(self, op_name: str) -> int:

@@ -2,20 +2,25 @@
 
 Produces the diagnostics a user of the add-on would want before trusting
 a mapping: per-NUMA-node and per-package occupancy, the locality scores
-from :mod:`repro.treematch.cost`, and a side-by-side comparison table of
-several policies on the same program/topology.
+from :mod:`repro.treematch.cost`, a side-by-side comparison table of
+several policies on the same program/topology, and — after a simulated
+run — the measured per-sharing-level traffic breakdown
+(:func:`render_traffic_report`), the paper's Fig. 1 argument as a table.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.comm.matrix import CommMatrix
 from repro.topology.objects import ObjType
 from repro.topology.tree import Topology
 from repro.treematch import cost as cost_mod
 from repro.treematch.mapping import Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulate.metrics import MachineMetrics
 
 
 def occupancy_by_type(
@@ -87,6 +92,61 @@ def render_report(
         bal = balance_score(mapping, topo, type_)
         dist = " ".join(str(occ[k]) for k in sorted(occ))
         lines.append(f"{type_.name.lower()} occupancy (balance {bal:.2f}): {dist}")
+    return "\n".join(lines)
+
+
+def traffic_by_level(metrics: "MachineMetrics") -> list[dict]:
+    """Measured traffic rows, one per sharing level, nearest first.
+
+    Each row: ``{"level", "bytes", "seconds", "share", "bandwidth"}``
+    where *share* is the level's fraction of total bytes and *bandwidth*
+    the effective bytes/second the transfers at that level achieved
+    (contention included).  Levels are ordered from the closest sharing
+    (CORE/L1) outward to MACHINE, mirroring the hierarchy of Fig. 1.
+    """
+    order = {t: i for i, t in enumerate(ObjType)}
+    total = metrics.total_bytes
+    rows = []
+    levels = set(metrics.bytes_by_level) | set(metrics.transfer_time_by_level)
+    for level in sorted(levels, key=lambda lv: order[lv], reverse=True):
+        nbytes = float(metrics.bytes_by_level.get(level, 0))
+        seconds = float(metrics.transfer_time_by_level.get(level, 0.0))
+        rows.append(
+            {
+                "level": level.name,
+                "bytes": nbytes,
+                "seconds": seconds,
+                "share": nbytes / total if total else 0.0,
+                "bandwidth": nbytes / seconds if seconds else 0.0,
+            }
+        )
+    return rows
+
+
+def render_traffic_report(metrics: "MachineMetrics", title: str = "") -> str:
+    """Per-sharing-level traffic table for one simulated run.
+
+    This is the observable the paper's whole argument rests on: *where*
+    in the memory hierarchy the bytes moved.  Bound placements push
+    traffic toward the top rows (shared caches, local DRAM); unbound
+    ones leak it to GROUP/MACHINE.
+    """
+    head = title or "Traffic by sharing level"
+    lines = [head, "=" * len(head)]
+    lines.append(
+        f"{'level':<10} {'bytes':>14} {'share':>7} {'seconds':>12} {'GB/s':>8}"
+    )
+    for row in traffic_by_level(metrics):
+        lines.append(
+            f"{row['level']:<10} {row['bytes']:>14.6g} {row['share']:>7.1%} "
+            f"{row['seconds']:>12.6g} {row['bandwidth'] / 1e9:>8.2f}"
+        )
+    lines.append(
+        f"total: {metrics.total_bytes:.6g} bytes, "
+        f"{metrics.local_fraction:.1%} NUMA-local, "
+        f"{metrics.transfers} transfers "
+        f"({metrics.contended_transfers} contended)"
+    )
     return "\n".join(lines)
 
 

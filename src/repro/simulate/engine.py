@@ -28,6 +28,10 @@ class Engine:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        #: optional observability probe, called with the new simulated
+        #: time after every step (see repro.observe.Tracer.on_engine_step).
+        #: One ``is None`` check per event when unused.
+        self.probe: Optional[Callable[[float], None]] = None
 
     @property
     def now(self) -> float:
@@ -63,6 +67,8 @@ class Engine:
         time, _, fn = heapq.heappop(self._heap)
         self._now = time
         self._events_fired += 1
+        if self.probe is not None:
+            self.probe(time)
         fn()
         return True
 

@@ -19,7 +19,7 @@ simulated time (see DESIGN.md §1).
 from __future__ import annotations
 
 import enum
-from typing import Callable, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 import numpy as np
 
@@ -42,8 +42,17 @@ from repro.topology.tree import Topology
 from repro.util.rng import SeedLike, make_rng
 from repro.util.validate import check_positive
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.tracer import Tracer
+
 #: Type of a thread body: a generator yielding Syscalls.
 ThreadBody = Generator[Syscall, None, None]
+
+#: Observability hook: when set, called with every newly constructed
+#: machine (before threads are added).  ``repro.observe.capture()`` uses
+#: it to attach tracers to machines built deep inside examples and
+#: tools without plumbing a tracer through their APIs.
+new_machine_hook: Optional[Callable[["Machine"], None]] = None
 
 
 class ThreadState(enum.Enum):
@@ -71,7 +80,9 @@ class SimThread:
         "compute_time",
         "transfer_time",
         "wait_time",
+        "runq_time",
         "migrations",
+        "done_at",
     )
 
     def __init__(
@@ -96,7 +107,10 @@ class SimThread:
         self.compute_time = 0.0
         self.transfer_time = 0.0
         self.wait_time = 0.0
+        self.runq_time = 0.0
         self.migrations = 0
+        #: simulated time the body finished (-1 while running).
+        self.done_at = -1.0
 
     @property
     def is_bound(self) -> bool:
@@ -136,6 +150,12 @@ class Machine:
         Record a per-thread activity trace
         (:class:`repro.simulate.timeline.Timeline`) — off by default as
         large runs produce many segments.
+    tracer:
+        Optional :class:`repro.observe.Tracer`; when attached the
+        machine emits one structured event per activity (compute,
+        transfer, wait, runq, migration), tagged with PU / NUMA node /
+        sharing level, and wires the engine and scheduler probes.  See
+        :mod:`repro.observe`.
     """
 
     def __init__(
@@ -149,6 +169,7 @@ class Machine:
         seed: SeedLike = 0,
         timeline: bool = False,
         core_rate_of: Optional[dict[int, float]] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.topo = topo
         self.distances = distance_model or DistanceModel(topo)
@@ -192,6 +213,34 @@ class Machine:
             self.timeline: Optional["Timeline"] = Timeline()
         else:
             self.timeline = None
+        self.tracer: Optional["Tracer"] = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
+        if new_machine_hook is not None:
+            new_machine_hook(self)
+
+    def attach_tracer(self, tracer: "Tracer") -> None:
+        """Wire *tracer* into the machine, engine, and scheduler probes.
+
+        Must happen before :meth:`run`; one tracer per machine.
+        """
+        if self.tracer is not None:
+            raise SimulationError("machine already has a tracer attached")
+        if self._started:
+            raise SimulationError("cannot attach a tracer after run() started")
+        self.tracer = tracer
+        self.engine.probe = tracer.on_engine_step
+
+        def sched_probe(kind: str, src: int, dst: int) -> None:
+            tracer.emit(
+                "sched",
+                ts=self.engine.now,
+                pu=dst,
+                node=self._node_of_pu[dst] if 0 <= dst < len(self._node_of_pu) else -1,
+                detail=f"{kind}:{src}->{dst}",
+            )
+
+        self.scheduler.observer = sched_probe
 
     # -- thread setup ------------------------------------------------------
 
@@ -253,7 +302,9 @@ class Machine:
             "compute_time": t.compute_time,
             "transfer_time": t.transfer_time,
             "wait_time": t.wait_time,
+            "runq_time": t.runq_time,
             "migrations": float(t.migrations),
+            "done_at": t.done_at,
         }
 
     def node_of_thread(self, tid: int) -> int:
@@ -281,6 +332,9 @@ class Machine:
             t.current_pu = t.bound_pu if t.is_bound else self.scheduler.initial_pu()
             self.scheduler.occupy(t.current_pu)
             t.state = ThreadState.READY
+            if self.tracer is not None:
+                self._trace("thread_start", t, 0.0,
+                            detail="bound" if t.is_bound else "unbound")
             self.engine.schedule(0.0, self._resume_fn(t))
         self.engine.run(max_events=max_events)
         stuck = [t for t in self._threads if t.state is not ThreadState.DONE]
@@ -293,6 +347,32 @@ class Machine:
 
     # -- syscall dispatch ---------------------------------------------------
 
+    def _trace(
+        self,
+        kind: str,
+        t: SimThread,
+        ts: float,
+        dur: float = 0.0,
+        level: str = "",
+        nbytes: float = 0.0,
+        detail: str = "",
+    ) -> None:
+        """Emit one event for thread *t* (caller checked tracer is set)."""
+        pu = t.current_pu
+        assert self.tracer is not None
+        self.tracer.emit(
+            kind,
+            ts=ts,
+            dur=dur,
+            tid=t.tid,
+            thread=t.name,
+            pu=pu,
+            node=self._node_of_pu[pu] if pu >= 0 else -1,
+            level=level,
+            nbytes=nbytes,
+            detail=detail,
+        )
+
     def _resume_fn(self, t: SimThread) -> Callable[[], None]:
         return lambda: self._advance(t)
 
@@ -304,6 +384,9 @@ class Machine:
             sc = next(t.body)
         except StopIteration:
             t.state = ThreadState.DONE
+            t.done_at = self.engine.now
+            if self.tracer is not None:
+                self._trace("thread_end", t, self.engine.now)
             self.scheduler.vacate(t.current_pu)
             return
         self._perform(t, sc)
@@ -321,18 +404,20 @@ class Machine:
         elif isinstance(sc, Wait):
             t.state = ThreadState.BLOCKED
             t.blocked_since = self.engine.now
-            sc.event.wait(self._unblock_fn(t))
+            sc.event.wait(self._unblock_fn(t, sc.event.name))
         elif isinstance(sc, Yield):
             t.state = ThreadState.READY
             self.engine.schedule(0.0, self._resume_fn(t))
         else:
             raise SimulationError(f"thread {t.tid} yielded non-syscall {sc!r}")
 
-    def _unblock_fn(self, t: SimThread) -> Callable[[], None]:
+    def _unblock_fn(self, t: SimThread, event_name: str = "") -> Callable[[], None]:
         def unblock() -> None:
             waited = self.engine.now - t.blocked_since
             self.metrics.record_wait(waited)
             t.wait_time += waited
+            if self.tracer is not None:
+                self._trace("wait", t, t.blocked_since, waited, detail=event_name)
             self._advance(t)
 
         return unblock
@@ -354,6 +439,9 @@ class Machine:
         start = max(now, self._pu_free_at[pu])
         if start > now:
             self.metrics.record_runq(start - now)
+            t.runq_time += start - now
+            if self.tracer is not None:
+                self._trace("runq", t, now, start - now)
         end = start + duration
         self._pu_free_at[pu] = end
         return start, end
@@ -371,6 +459,7 @@ class Machine:
         backlog = np.maximum(self._pu_free_at - self.engine.now, 0.0)
         target = self.scheduler.pull_target(t.current_pu, backlog)
         if target is not None:
+            source = t.current_pu
             self.scheduler.vacate(t.current_pu)
             self.scheduler.occupy(target)
             t.current_pu = target
@@ -378,6 +467,9 @@ class Machine:
             t.pending_penalty += penalty
             t.migrations += 1
             self.metrics.record_migration(penalty)
+            if self.tracer is not None:
+                self._trace("migration", t, self.engine.now, penalty,
+                            detail=f"pull:{source}->{target}")
 
     def _do_work(self, t: SimThread, duration: float, is_compute: bool) -> None:
         self._maybe_pull(t)
@@ -390,6 +482,8 @@ class Machine:
         if is_compute:
             self.metrics.record_compute(duration)
             t.compute_time += duration
+            if self.tracer is not None:
+                self._trace("compute", t, start, duration)
             self._account_balancing(t, duration)
         if self.timeline is not None:
             from repro.simulate.timeline import Segment
@@ -411,6 +505,7 @@ class Machine:
             backlog = np.maximum(self._pu_free_at - self.engine.now, 0.0)
             target = self.scheduler.maybe_migrate(t.current_pu, backlog)
             if target is not None:
+                source = t.current_pu
                 self.scheduler.vacate(t.current_pu)
                 self.scheduler.occupy(target)
                 t.current_pu = target
@@ -418,6 +513,9 @@ class Machine:
                 t.pending_penalty += penalty
                 t.migrations += 1
                 self.metrics.record_migration(penalty)
+                if self.tracer is not None:
+                    self._trace("migration", t, self.engine.now, penalty,
+                                detail=f"balance:{source}->{target}")
 
     def _transfer_duration(
         self, consumer: SimThread, level: ObjType, base: float, producer_node: int
@@ -438,6 +536,9 @@ class Machine:
         self.metrics.record_transfer(level, nbytes, duration)
         t.transfer_time += duration
         start, end = self._occupy_pu(t, duration)
+        if self.tracer is not None:
+            self._trace("transfer", t, start, duration, level=level.name,
+                        nbytes=nbytes, detail=f"from-node:{producer_node}")
         if self.timeline is not None:
             from repro.simulate.timeline import Segment
 

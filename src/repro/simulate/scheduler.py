@@ -21,6 +21,7 @@ NoBind runs are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -67,6 +68,10 @@ class OsScheduler:
         self.config = config or SchedulerConfig()
         self._rng = make_rng(seed)
         self._load = np.zeros(n_pus, dtype=np.int64)  # threads per PU
+        #: optional observability probe ``(kind, src_pu, dst_pu)`` fired on
+        #: every placement decision — ``"initial"`` / ``"pull"`` /
+        #: ``"noise"`` — wired by Machine.attach_tracer.
+        self.observer: Callable[[str, int, int], None] | None = None
 
     # -- load bookkeeping ----------------------------------------------------
 
@@ -87,6 +92,8 @@ class OsScheduler:
         lowest = int(self._load.min())
         candidates = np.flatnonzero(self._load == lowest)
         choice = int(candidates[self._rng.integers(len(candidates))])
+        if self.observer is not None:
+            self.observer("initial", -1, choice)
         return choice
 
     def pull_target(self, current_pu: int, backlog: np.ndarray) -> int | None:
@@ -102,7 +109,11 @@ class OsScheduler:
             return None
         candidates = np.flatnonzero(backlog == backlog.min())
         target = int(candidates[self._rng.integers(len(candidates))])
-        return target if target != current_pu else None
+        if target == current_pu:
+            return None
+        if self.observer is not None:
+            self.observer("pull", current_pu, target)
+        return target
 
     def maybe_migrate(
         self, current_pu: int, backlog: np.ndarray | None = None
@@ -131,4 +142,6 @@ class OsScheduler:
         target = int(candidates[self._rng.integers(len(candidates))])
         if target == current_pu:
             return None
+        if self.observer is not None:
+            self.observer("noise", current_pu, target)
         return target

@@ -7,4 +7,7 @@ Mirrors the utilities the paper's software stack ships:
 * ``python -m repro.tools.treematch`` — compute a mapping from a
   communication-matrix file and a topology, like the TreeMatch CLI.
 * ``python -m repro.tools.fig1`` — regenerate the paper's Figure 1 data.
+* ``python -m repro.tools.trace`` — run a workload with structured
+  tracing: export Perfetto/JSON-lines timelines, audit conservation
+  invariants, print determinism fingerprints (see ``repro.observe``).
 """
