@@ -1,0 +1,67 @@
+"""Parallel sweep execution (``repro.exec``).
+
+Every experiment in this repo — the Fig. 1 sweep, the ablations, the
+cluster comparison, the benchmarks — is a set of *independent*
+simulation points: same code, different parameters, no shared state.
+Each point is a full discrete-event simulation firing millions of pure
+Python events, so a paper-scale sweep is dominated by CPU time that
+parallelizes embarrassingly across the host's own cores.
+
+:class:`SweepRunner` fans such points over a process pool while keeping
+the repo's determinism contract intact:
+
+* **deterministic ordering** — results come back in submission order,
+  regardless of which worker finished first;
+* **bit-identical to serial** — a point's outcome depends only on its
+  arguments (every simulation is seeded), so ``n_workers=8`` and
+  ``n_workers=1`` produce byte-identical results and determinism
+  fingerprints (``tests/test_exec.py`` pins this);
+* **per-point seeds** — :func:`derive_seed` derives stable,
+  process-independent child seeds from a base seed and a point key;
+* **worker-side caching** — :mod:`repro.exec.cache` memoizes topology
+  and :class:`~repro.topology.distance.DistanceModel` construction per
+  preset inside each worker, so a 192-PU distance matrix is built once
+  per process, not once per point;
+* **chunked dispatch** — points are shipped in chunks to amortize IPC;
+* **crash resilience** — a dying worker (OOM kill, segfault in a native
+  extension) breaks the pool; the runner rebuilds it and retries the
+  unfinished chunks, finally falling back to in-process serial
+  execution so a sweep always completes;
+* **progress events** — :class:`~repro.exec.progress.SweepEvent`
+  callbacks, optionally mirrored into a
+  :class:`repro.observe.Tracer` stream (kind ``"sweep"``).
+"""
+
+from __future__ import annotations
+
+from repro.exec.cache import (
+    cached_distance_model,
+    cached_topology,
+    clear_cache,
+    machine_inputs,
+)
+from repro.exec.progress import SweepEvent, log_progress, tracer_progress
+from repro.exec.runner import (
+    ExecError,
+    SweepRunner,
+    Task,
+    derive_seed,
+    resolve_workers,
+    run_sweep,
+)
+
+__all__ = [
+    "ExecError",
+    "SweepEvent",
+    "SweepRunner",
+    "Task",
+    "cached_distance_model",
+    "cached_topology",
+    "clear_cache",
+    "derive_seed",
+    "log_progress",
+    "machine_inputs",
+    "resolve_workers",
+    "run_sweep",
+    "tracer_progress",
+]

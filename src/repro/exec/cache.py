@@ -1,0 +1,100 @@
+"""Worker-side construction caches, keyed by preset.
+
+Building a :class:`~repro.topology.tree.Topology` is cheap, but the
+:class:`~repro.topology.distance.DistanceModel` on top of it runs an
+O(P²) pure-Python LCA sweep — ~0.2 s for the paper's 192-PU machine.
+A Fig. 1 sweep touches each machine shape three times (once per
+implementation), and a parallel sweep touches it once *per worker per
+point* unless the construction is memoized.
+
+These caches are plain module-level dicts, so each worker process (and
+the parent, for serial runs) pays the construction cost once per
+distinct ``(preset, shape)`` and reuses the objects after that.  That is
+safe because both objects are immutable after construction: the
+simulator only reads them (`Machine` keeps its own mutable state), and
+the :class:`DistanceModel`'s lazily cached hop matrix is derived purely
+from the topology.  Determinism is unaffected — a cached topology is
+byte-identical to a freshly built one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.topology import presets
+from repro.topology.distance import (
+    CLUSTER_LEVEL_COSTS,
+    DEFAULT_LEVEL_COSTS,
+    DistanceModel,
+)
+from repro.topology.tree import Topology
+from repro.util.validate import ValidationError
+
+#: Named cost tables selectable by :func:`cached_distance_model`.
+COST_TABLES = {
+    "default": DEFAULT_LEVEL_COSTS,
+    "cluster": CLUSTER_LEVEL_COSTS,
+}
+
+_TOPOLOGIES: dict[tuple, Topology] = {}
+_MODELS: dict[tuple, DistanceModel] = {}
+
+
+def cached_topology(preset: str, *args: int) -> Topology:
+    """Build (or fetch) the preset topology ``presets.PRESETS[preset](*args)``.
+
+    The cache key is ``(preset, args)``; the returned object is shared,
+    so treat it as read-only (everything in the repo already does).
+    """
+    try:
+        factory = presets.PRESETS[preset]
+    except KeyError:
+        raise ValidationError(
+            f"unknown preset {preset!r}; available: {', '.join(sorted(presets.PRESETS))}"
+        ) from None
+    key = (preset, args)
+    topo = _TOPOLOGIES.get(key)
+    if topo is None:
+        topo = _TOPOLOGIES[key] = factory(*args)
+    return topo
+
+
+def cached_distance_model(
+    preset: str, *args: int, costs: str = "default"
+) -> DistanceModel:
+    """A shared :class:`DistanceModel` over :func:`cached_topology`.
+
+    *costs* selects a table from :data:`COST_TABLES` (``"default"`` or
+    ``"cluster"``).
+    """
+    try:
+        table = COST_TABLES[costs]
+    except KeyError:
+        raise ValidationError(
+            f"unknown cost table {costs!r}; one of {tuple(COST_TABLES)}"
+        ) from None
+    key = (preset, args, costs)
+    model = _MODELS.get(key)
+    if model is None:
+        topo = cached_topology(preset, *args)
+        model = _MODELS[key] = DistanceModel(topo, level_costs=dict(table))
+    return model
+
+
+def machine_inputs(
+    preset: str, *args: int, costs: str = "default"
+) -> tuple[Topology, DistanceModel]:
+    """The ``(topology, distance_model)`` pair a :class:`Machine` needs.
+
+    The single call sites use: ``Machine(topo, distance_model=model, ...)``.
+    """
+    model = cached_distance_model(preset, *args, costs=costs)
+    return model.topo, model
+
+
+def clear_cache() -> Optional[int]:
+    """Drop all cached objects; returns how many were dropped."""
+    n = len(_TOPOLOGIES) + len(_MODELS)
+    _TOPOLOGIES.clear()
+    _MODELS.clear()
+    return n

@@ -1,0 +1,105 @@
+"""Progress events emitted by :class:`repro.exec.SweepRunner`.
+
+A sweep is minutes of silent CPU burn; these events are how tools and
+tests watch it move.  The runner calls every registered callback with a
+:class:`SweepEvent` from the *parent* process (worker processes never
+emit), so callbacks are free to print, log, or append to shared state.
+
+Two ready-made sinks:
+
+* :func:`log_progress` — one log line per event via ``repro.util.log``;
+* :func:`tracer_progress` — mirror events into a
+  :class:`repro.observe.Tracer` stream as kind-``"sweep"`` instants, so
+  a sweep's schedule lands in the same JSONL/Chrome exports as the
+  simulations it ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.util.log import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observe.tracer import Tracer
+
+#: Event kinds, in the order a healthy sweep emits them.  ``worker_crash``,
+#: ``retry`` and ``serial_fallback`` only appear on the resilience path.
+SWEEP_EVENT_KINDS = (
+    "sweep_start",
+    "point_done",
+    "chunk_done",
+    "worker_crash",
+    "retry",
+    "serial_fallback",
+    "sweep_end",
+)
+
+
+@dataclass(frozen=True)
+class SweepEvent:
+    """One progress notification from a sweep.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`SWEEP_EVENT_KINDS`.
+    ts:
+        Wall-clock seconds since the sweep started (parent-process time,
+        *not* simulated time).
+    index:
+        Point index for ``point_done`` (-1 otherwise).
+    done, total:
+        Points completed so far / points in the sweep.
+    label:
+        The task's label (``point_done``) or a free-form tag.
+    detail:
+        Extra context: worker counts, retry attempt, crash reason.
+    """
+
+    kind: str
+    ts: float
+    index: int = -1
+    done: int = 0
+    total: int = 0
+    label: str = ""
+    detail: str = ""
+
+
+#: Signature of a progress sink.
+ProgressCallback = Callable[[SweepEvent], None]
+
+
+def log_progress(event: SweepEvent) -> None:
+    """Log one line per event (a ready-made ``on_event`` callback)."""
+    log = get_logger("exec")
+    msg = f"[{event.ts:8.2f}s] {event.kind} {event.done}/{event.total}"
+    if event.label:
+        msg += f" {event.label}"
+    if event.detail:
+        msg += f" ({event.detail})"
+    if event.kind in ("worker_crash", "serial_fallback"):
+        log.warning(msg)
+    else:
+        log.info(msg)
+
+
+def tracer_progress(tracer: "Tracer") -> ProgressCallback:
+    """An ``on_event`` callback mirroring sweep events into *tracer*.
+
+    Events are emitted as kind-``"sweep"`` instants whose ``ts`` is the
+    wall-clock offset; ``detail`` packs the sweep-event kind, progress
+    counter, and label.  Exporters pass unknown kinds through verbatim,
+    so sweeps show up in Chrome/JSONL exports alongside machine events.
+    """
+
+    def callback(event: SweepEvent) -> None:
+        tracer.emit(
+            "sweep",
+            ts=event.ts,
+            detail=f"{event.kind}:{event.done}/{event.total}"
+            + (f":{event.label}" if event.label else ""),
+        )
+
+    return callback

@@ -20,6 +20,7 @@ import time as _time
 from typing import Sequence
 
 from repro.comm import patterns
+from repro.exec.runner import SweepRunner, Task
 from repro.kernels.lk23_orwl import Lk23Config, build_program
 from repro.orwl.runtime import Runtime
 from repro.placement.affinity import matrix_correlation, static_matrix, traced_matrix
@@ -89,7 +90,36 @@ def treematch_cost_curve(
     return out
 
 
-def control_strategy_comparison(iterations: int = 3) -> dict[str, dict[str, float]]:
+#: The A3 scenarios: preset factory args and LK23 grid shape per name.
+_CONTROL_SCENARIOS = {
+    "hyperthread": (("hyperthreaded_smp", 4, 8), (4, 8)),
+    "spare-cores": (("paper_smp", 8, 8), (2, 2)),
+    "unmapped": (("paper_smp", 4, 8), (4, 8)),
+}
+
+
+def _control_scenario(name: str, iterations: int) -> dict[str, float]:
+    """One A3 scenario; module-level so the sweep runner can pickle it."""
+    (factory, *args), (rows, cols) = _CONTROL_SCENARIOS[name]
+    topo = getattr(presets, factory)(*args)
+    cfg = Lk23Config(n=4096, grid_rows=rows, grid_cols=cols, iterations=iterations)
+    prog = build_program(cfg)
+    plan = bind_program(prog, topo, policy="treematch")
+    machine = Machine(topo, seed=1)
+    runtime = Runtime(
+        prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
+    )
+    result = runtime.run()
+    return {
+        "time": result.time,
+        "strategy": plan.control_strategy.value if plan.control_strategy else "none",
+        "local_fraction": result.metrics.local_fraction,
+    }
+
+
+def control_strategy_comparison(
+    iterations: int = 3, n_workers: int = 1
+) -> dict[str, dict[str, float]]:
     """A3: LK23 with the three control-thread branches.
 
     Scenarios: (a) a hyperthreaded 4×8×2 machine with one task per core
@@ -98,69 +128,65 @@ def control_strategy_comparison(iterations: int = 3) -> dict[str, dict[str, floa
     every communication/control thread fits on a spare core (→
     SPARE_CORES); (c) a 32-core machine with 32 tasks — no room at all
     (→ UNMAPPED).  Returns simulated time and the strategy that fired.
+
+    The scenarios are independent simulations; *n_workers* > 1 (or 0 =
+    host cores) fans them out via :class:`repro.exec.SweepRunner`.
     """
-    scenarios = {
-        "hyperthread": (presets.hyperthreaded_smp(4, 8), (4, 8)),
-        "spare-cores": (presets.paper_smp(8, 8), (2, 2)),
-        "unmapped": (presets.paper_smp(4, 8), (4, 8)),
+    names = list(_CONTROL_SCENARIOS)
+    runner = SweepRunner(n_workers=n_workers)
+    rows = runner.map(
+        [Task(_control_scenario, dict(name=n, iterations=iterations), label=n)
+         for n in names]
+    )
+    return dict(zip(names, rows))
+
+
+def _oversub_point(factor: int, iterations: int) -> dict[str, float]:
+    """One A4 oversubscription factor; module-level for the runner."""
+    topo = presets.paper_smp(8, 8)  # 64 cores
+    n_tasks = topo.nb_pus * factor
+    rows, cols = patterns.square_grid_shape(n_tasks)
+    cfg = Lk23Config(n=8192, grid_rows=rows, grid_cols=cols, iterations=iterations)
+    prog = build_program(cfg)
+    plan = bind_program(prog, topo, policy="treematch")
+    mains = [
+        plan.mapping.pu(k)
+        for k, op in enumerate(prog.operations())
+        if op.is_main
+    ]
+    from collections import Counter
+
+    max_mains_per_pu = max(Counter(mains).values())
+    machine = Machine(topo, seed=2)
+    runtime = Runtime(
+        prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
+    )
+    result = runtime.run()
+    return {
+        "factor": float(factor),
+        "n_tasks": float(n_tasks),
+        "time": result.time,
+        "max_mains_per_pu": float(max_mains_per_pu),
     }
-    out: dict[str, dict[str, float]] = {}
-    for name, (topo, (rows, cols)) in scenarios.items():
-        cfg = Lk23Config(n=4096, grid_rows=rows, grid_cols=cols, iterations=iterations)
-        prog = build_program(cfg)
-        plan = bind_program(prog, topo, policy="treematch")
-        machine = Machine(topo, seed=1)
-        runtime = Runtime(
-            prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
-        )
-        result = runtime.run()
-        out[name] = {
-            "time": result.time,
-            "strategy": plan.control_strategy.value if plan.control_strategy else "none",
-            "local_fraction": result.metrics.local_fraction,
-        }
-    return out
 
 
 def oversubscription_study(
     factors: Sequence[int] = (1, 2, 4),
     iterations: int = 3,
+    n_workers: int = 1,
 ) -> list[dict[str, float]]:
     """A4: tasks = factor × cores on an 8-socket machine.
 
     Checks that the virtual-level extension keeps the load balanced
     (max PU load == factor) and reports the simulated time per factor.
+    Factors are independent runs; *n_workers* fans them out via
+    :class:`repro.exec.SweepRunner` (1 = serial reference path).
     """
-    topo = presets.paper_smp(8, 8)  # 64 cores
-    out: list[dict[str, float]] = []
-    for f in factors:
-        n_tasks = topo.nb_pus * f
-        rows, cols = patterns.square_grid_shape(n_tasks)
-        cfg = Lk23Config(n=8192, grid_rows=rows, grid_cols=cols, iterations=iterations)
-        prog = build_program(cfg)
-        plan = bind_program(prog, topo, policy="treematch")
-        mains = [
-            plan.mapping.pu(k)
-            for k, op in enumerate(prog.operations())
-            if op.is_main
-        ]
-        from collections import Counter
-
-        max_mains_per_pu = max(Counter(mains).values())
-        machine = Machine(topo, seed=2)
-        runtime = Runtime(
-            prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
-        )
-        result = runtime.run()
-        out.append(
-            {
-                "factor": float(f),
-                "n_tasks": float(n_tasks),
-                "time": result.time,
-                "max_mains_per_pu": float(max_mains_per_pu),
-            }
-        )
-    return out
+    runner = SweepRunner(n_workers=n_workers)
+    return runner.map(
+        [Task(_oversub_point, dict(factor=f, iterations=iterations), label=f"x{f}")
+         for f in factors]
+    )
 
 
 def affinity_extraction_fidelity(iterations: int = 3) -> dict[str, float]:

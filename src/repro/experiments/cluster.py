@@ -16,13 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.comm.patterns import square_grid_shape
+from repro.exec.cache import machine_inputs
+from repro.exec.runner import SweepRunner, Task
 from repro.kernels.lk23_orwl import Lk23Config, build_program
 from repro.orwl.runtime import Runtime
 from repro.placement.binder import bind_program
 from repro.simulate.machine import Machine
-from repro.topology.distance import cluster_distance_model
 from repro.topology.objects import ObjType
-from repro.topology.presets import cluster as cluster_preset
 
 #: Policies compared across the cluster (all produce bound mappings).
 CLUSTER_POLICIES = ("treematch", "round-robin", "random")
@@ -38,6 +38,52 @@ class ClusterPoint:
     local_fraction: float
 
 
+def _cluster_policy_point(
+    policy: str,
+    nodes: int,
+    sockets_per_node: int,
+    cores_per_socket: int,
+    n: int,
+    iterations: int,
+    seed: int,
+    shuffle_declaration: bool,
+) -> ClusterPoint:
+    """One policy's cluster run; module-level for the sweep runner."""
+    from repro.util.rng import make_rng
+
+    topo, dm = machine_inputs(
+        "cluster", nodes, sockets_per_node, cores_per_socket, costs="cluster"
+    )
+    n_tasks = topo.nb_pus
+    rows, cols = square_grid_shape(n_tasks)
+    cfg = Lk23Config(n=n, grid_rows=rows, grid_cols=cols, iterations=iterations)
+    block_order = None
+    if shuffle_declaration:
+        rng = make_rng(seed)
+        block_order = list(cfg.grid.blocks())
+        rng.shuffle(block_order)
+    prog = build_program(cfg, block_order=block_order)
+    kwargs = {"seed": seed} if policy == "random" else {}
+    # Distributed setting: threads cannot leave their node, so the
+    # unmapped fallback is replaced by task co-location.
+    plan = bind_program(
+        prog, topo, policy=policy, control_fallback="colocate", **kwargs
+    )
+    machine = Machine(topo, distance_model=dm, seed=seed)
+    result = Runtime(
+        prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
+    ).run()
+    network_bytes = float(
+        result.metrics.bytes_by_level.get(ObjType.MACHINE, 0.0)
+    )
+    return ClusterPoint(
+        policy=policy,
+        time=result.time,
+        network_bytes=network_bytes,
+        local_fraction=result.metrics.local_fraction,
+    )
+
+
 def run_cluster_lk23(
     nodes: int = 4,
     sockets_per_node: int = 2,
@@ -47,6 +93,7 @@ def run_cluster_lk23(
     policies: tuple[str, ...] = CLUSTER_POLICIES,
     seed: int = 0,
     shuffle_declaration: bool = True,
+    n_workers: int = 1,
 ) -> dict[str, ClusterPoint]:
     """LK23 across a cluster under each policy; one task per core.
 
@@ -56,43 +103,32 @@ def run_cluster_lk23(
     optimal for a stencil; shuffling models the common reality that
     task creation order does not follow data geometry, which is exactly
     the situation the affinity-aware mapping is for.
-    """
-    from repro.util.rng import make_rng
 
-    out: dict[str, ClusterPoint] = {}
-    for policy in policies:
-        topo = cluster_preset(nodes, sockets_per_node, cores_per_socket)
-        n_tasks = topo.nb_pus
-        rows, cols = square_grid_shape(n_tasks)
-        cfg = Lk23Config(n=n, grid_rows=rows, grid_cols=cols, iterations=iterations)
-        block_order = None
-        if shuffle_declaration:
-            rng = make_rng(seed)
-            block_order = list(cfg.grid.blocks())
-            rng.shuffle(block_order)
-        prog = build_program(cfg, block_order=block_order)
-        kwargs = {"seed": seed} if policy == "random" else {}
-        # Distributed setting: threads cannot leave their node, so the
-        # unmapped fallback is replaced by task co-location.
-        plan = bind_program(
-            prog, topo, policy=policy, control_fallback="colocate", **kwargs
-        )
-        machine = Machine(
-            topo, distance_model=cluster_distance_model(topo), seed=seed
-        )
-        result = Runtime(
-            prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
-        ).run()
-        network_bytes = float(
-            result.metrics.bytes_by_level.get(ObjType.MACHINE, 0.0)
-        )
-        out[policy] = ClusterPoint(
-            policy=policy,
-            time=result.time,
-            network_bytes=network_bytes,
-            local_fraction=result.metrics.local_fraction,
-        )
-    return out
+    Policies are independent runs; *n_workers* fans them out via
+    :class:`repro.exec.SweepRunner` (1 = serial reference path, 0 =
+    all host cores).  The returned dict is in *policies* order.
+    """
+    runner = SweepRunner(n_workers=n_workers)
+    points = runner.map(
+        [
+            Task(
+                _cluster_policy_point,
+                dict(
+                    policy=policy,
+                    nodes=nodes,
+                    sockets_per_node=sockets_per_node,
+                    cores_per_socket=cores_per_socket,
+                    n=n,
+                    iterations=iterations,
+                    seed=seed,
+                    shuffle_declaration=shuffle_declaration,
+                ),
+                label=policy,
+            )
+            for policy in policies
+        ]
+    )
+    return {p.policy: p for p in points}
 
 
 def table(points: dict[str, ClusterPoint]) -> str:

@@ -23,12 +23,13 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.comm.patterns import square_grid_shape
+from repro.exec.cache import machine_inputs
+from repro.exec.runner import SweepRunner, Task
 from repro.kernels.lk23_orwl import Lk23Config, build_program
 from repro.kernels.openmp import OpenMpConfig, run_openmp_lk23
 from repro.orwl.runtime import Runtime
 from repro.placement.binder import bind_program
 from repro.simulate.machine import Machine
-from repro.topology.presets import paper_smp
 from repro.util.validate import ValidationError
 
 #: The implementations of the figure, in its legend order.
@@ -45,6 +46,10 @@ class Fig1Point:
     local_fraction: float
     migrations: int
     remote_bytes: float
+    #: sha-256 determinism fingerprint of the traced run (empty unless
+    #: the point was run with ``fingerprint=True``); lets serial and
+    #: parallel sweeps be compared bit-exactly, see tests/test_exec.py.
+    fingerprint: str = ""
 
 
 @dataclass
@@ -56,10 +61,28 @@ class Fig1Result:
     n: int = 0
 
     def time_of(self, implementation: str, n_cores: int) -> float:
-        for p in self.points:
-            if p.implementation == implementation and p.n_cores == n_cores:
-                return p.time
-        raise KeyError(f"no point ({implementation}, {n_cores})")
+        try:
+            return self._index()[implementation, n_cores]
+        except KeyError:
+            raise KeyError(f"no point ({implementation}, {n_cores})") from None
+
+    def _index(self) -> dict[tuple[str, int], float]:
+        """``(implementation, n_cores) -> time``, built once per points size.
+
+        ``points`` is a public list that callers append to, so the index
+        is rebuilt whenever the length changes; like the linear scan it
+        replaces, the *first* point wins on duplicates.  Rendering a
+        table calls :meth:`time_of` per cell, which made the old scan
+        quadratic in sweep size.
+        """
+        cached = self.__dict__.get("_time_index")
+        if cached is None or self.__dict__.get("_time_index_len") != len(self.points):
+            cached = {}
+            for p in self.points:
+                cached.setdefault((p.implementation, p.n_cores), p.time)
+            self.__dict__["_time_index"] = cached
+            self.__dict__["_time_index_len"] = len(self.points)
+        return cached
 
     def series(self, implementation: str) -> list[tuple[int, float]]:
         """(cores, time) pairs of one curve, sorted by cores."""
@@ -174,8 +197,14 @@ def run_point(
     n: int = 16384,
     cores_per_socket: int = 8,
     seed: int = 0,
+    fingerprint: bool = False,
 ) -> Fig1Point:
-    """Run one implementation at one core count; returns the point."""
+    """Run one implementation at one core count; returns the point.
+
+    With *fingerprint*, the run is traced and the point carries its
+    :func:`repro.observe.determinism.run_fingerprint` — the cheap way to
+    assert two sweeps (e.g. serial vs parallel) did bit-identical work.
+    """
     if implementation not in IMPLEMENTATIONS:
         raise ValidationError(
             f"unknown implementation {implementation!r}; one of {IMPLEMENTATIONS}"
@@ -184,8 +213,19 @@ def run_point(
         raise ValidationError(
             f"core count {n_cores} must be whole sockets of {cores_per_socket}"
         )
-    topo = paper_smp(n_cores // cores_per_socket, cores_per_socket)
-    machine = Machine(topo, seed=seed)
+    # Topology and distance model come from the per-process cache: every
+    # point at the same core count (and every worker process re-running
+    # the preset) shares one immutable instance instead of re-deriving
+    # the O(P²) distance table.
+    topo, dm = machine_inputs(
+        "paper-smp", n_cores // cores_per_socket, cores_per_socket
+    )
+    tracer = None
+    if fingerprint:
+        from repro.observe.tracer import Tracer
+
+        tracer = Tracer()
+    machine = Machine(topo, distance_model=dm, seed=seed, tracer=tracer)
 
     if implementation == "openmp":
         result = run_openmp_lk23(
@@ -206,6 +246,12 @@ def run_point(
         metrics = run.metrics
         time = run.time
 
+    fp = ""
+    if fingerprint:
+        from repro.observe.determinism import run_fingerprint
+
+        fp = run_fingerprint(machine)
+
     return Fig1Point(
         implementation=implementation,
         n_cores=n_cores,
@@ -213,6 +259,7 @@ def run_point(
         local_fraction=metrics.local_fraction,
         migrations=metrics.migrations,
         remote_bytes=metrics.remote_bytes,
+        fingerprint=fp,
     )
 
 
@@ -222,6 +269,9 @@ def run_fig1(
     n: int = 16384,
     implementations: Sequence[str] = IMPLEMENTATIONS,
     seed: int = 0,
+    n_workers: int = 1,
+    fingerprint: bool = False,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig1Result:
     """The full Figure-1 sweep.
 
@@ -229,11 +279,32 @@ def run_fig1(
     simulated per-sweep time is steady after the first round, so the
     curve shape is iteration-count-invariant while the harness stays
     fast.  Scale it up to match the paper's absolute workload.
+
+    Every point is an independent seeded simulation, so the sweep fans
+    out over a :class:`repro.exec.SweepRunner` — *n_workers* ``1`` is the
+    in-process reference path, ``0`` uses all host cores; results are in
+    the same (core count, implementation) order either way and
+    bit-identical across worker counts.  Pass a pre-configured *runner*
+    (progress callbacks, crash policy) to override *n_workers*.
     """
     result = Fig1Result(iterations=iterations, n=n)
-    for c in core_counts:
-        for impl in implementations:
-            result.points.append(
-                run_point(impl, c, iterations=iterations, n=n, seed=seed)
-            )
+    tasks = [
+        Task(
+            run_point,
+            dict(
+                implementation=impl,
+                n_cores=c,
+                iterations=iterations,
+                n=n,
+                seed=seed,
+                fingerprint=fingerprint,
+            ),
+            label=f"{impl}@{c}",
+        )
+        for c in core_counts
+        for impl in implementations
+    ]
+    if runner is None:
+        runner = SweepRunner(n_workers=n_workers)
+    result.points.extend(runner.map(tasks))
     return result

@@ -36,7 +36,7 @@ from repro.simulate.syscalls import (
     Wait,
     Yield,
 )
-from repro.topology.distance import DistanceModel
+from repro.topology.distance import DEFAULT_LEVEL_COSTS, DistanceModel, LinkCosts
 from repro.topology.objects import ObjType
 from repro.topology.tree import Topology
 from repro.util.rng import SeedLike, make_rng
@@ -77,6 +77,7 @@ class SimThread:
         "consumed_since_balance",
         "blocked_since",
         "priority",
+        "resume_cb",
         "compute_time",
         "transfer_time",
         "wait_time",
@@ -98,6 +99,9 @@ class SimThread:
         self.current_pu: int = -1
         self.state = ThreadState.NEW
         self.body: Optional[ThreadBody] = None
+        #: the thread's reusable resume callback (one closure per thread
+        #: instead of one per event; set by Machine.run).
+        self.resume_cb: Optional[Callable[[], None]] = None
         #: cache-refill seconds to add to the next work item.
         self.pending_penalty = 0.0
         #: CPU seconds consumed since the last balancing decision.
@@ -206,6 +210,26 @@ class Machine:
             node = topo.numa_node_of(pu.os_index)
             self._node_of_pu.append(node.logical_index if node else 0)
         self._os_to_logical = {pu.os_index: pu.logical_index for pu in topo.pus()}
+        # Hot-path caches: every node-receive used to re-query the
+        # topology for the NUMA node list and walk to a representative
+        # PU; with millions of transfers per run these are resolved once
+        # here.  `_numa_nodes` is the node list in logical order,
+        # `_node_rep_pu[k]` a representative PU (logical index) under
+        # node k, and `_costs_of_level` the resolved LinkCosts per LCA
+        # type (falling back to the model's MACHINE entry, like
+        # DistanceModel does).
+        self._numa_nodes = topo.objects_by_type(ObjType.NUMANODE)
+        self._node_rep_pu = [
+            next(node.pus()).logical_index for node in self._numa_nodes
+        ]
+        self._costs_of_level: dict[ObjType, LinkCosts] = {
+            t: self.distances.level_costs.get(t, DEFAULT_LEVEL_COSTS[ObjType.MACHINE])
+            for t in ObjType
+        }
+        # UMA machines charge NUMANODE-class cost for node streams.
+        self._uma_node_costs = self.distances.level_costs.get(
+            ObjType.NUMANODE, DEFAULT_LEVEL_COSTS[ObjType.NUMANODE]
+        )
         self._started = False
         if timeline:
             from repro.simulate.timeline import Timeline
@@ -332,10 +356,11 @@ class Machine:
             t.current_pu = t.bound_pu if t.is_bound else self.scheduler.initial_pu()
             self.scheduler.occupy(t.current_pu)
             t.state = ThreadState.READY
+            t.resume_cb = self._resume_fn(t)
             if self.tracer is not None:
                 self._trace("thread_start", t, 0.0,
                             detail="bound" if t.is_bound else "unbound")
-            self.engine.schedule(0.0, self._resume_fn(t))
+            self.engine.schedule(0.0, t.resume_cb)
         self.engine.run(max_events=max_events)
         stuck = [t for t in self._threads if t.state is not ThreadState.DONE]
         if stuck:
@@ -407,7 +432,7 @@ class Machine:
             sc.event.wait(self._unblock_fn(t, sc.event.name))
         elif isinstance(sc, Yield):
             t.state = ThreadState.READY
-            self.engine.schedule(0.0, self._resume_fn(t))
+            self.engine.schedule(0.0, t.resume_cb or self._resume_fn(t))
         else:
             raise SimulationError(f"thread {t.tid} yielded non-syscall {sc!r}")
 
@@ -492,7 +517,7 @@ class Machine:
                 Segment(t.tid, t.name, "compute", t.current_pu, start, end)
             )
         t.state = ThreadState.READY
-        self.engine.at(end, self._resume_fn(t))
+        self.engine.at(end, t.resume_cb or self._resume_fn(t))
 
     def _account_balancing(self, t: SimThread, consumed: float) -> None:
         """Run the OS balancer for unbound threads per consumed quantum."""
@@ -574,34 +599,23 @@ class Machine:
 
     def _do_receive_from_node(self, t: SimThread, node_index: int, nbytes: float) -> None:
         self._maybe_pull(t)
-        nodes = self.topo.objects_by_type(ObjType.NUMANODE)
         dst_pu = t.current_pu
-        if not nodes:
+        if not self._numa_nodes:
             # UMA machine: charge NUMANODE-class cost, no node contention.
             level = ObjType.NUMANODE
-            from repro.topology.distance import DEFAULT_LEVEL_COSTS
-
-            costs = self.distances.level_costs.get(
-                level, DEFAULT_LEVEL_COSTS[ObjType.NUMANODE]
-            )
-            base = costs.transfer_time(nbytes)
+            base = self._uma_node_costs.transfer_time(nbytes)
             duration = self._transfer_duration(t, level, base, -1)
             self._finish_transfer(t, level, nbytes, duration, -1)
             return
-        if not 0 <= node_index < len(nodes):
+        if not 0 <= node_index < len(self._numa_nodes):
             raise SimulationError(f"no NUMA node {node_index}")
         consumer_node = self._node_of_pu[dst_pu]
         if consumer_node == node_index:
             level = ObjType.NUMANODE  # local DRAM
         else:
-            rep = next(nodes[node_index].pus()).logical_index
+            rep = self._node_rep_pu[node_index]
             level = self.distances.lca_type(rep, dst_pu)
-        from repro.topology.distance import DEFAULT_LEVEL_COSTS
-
-        costs = self.distances.level_costs.get(
-            level, DEFAULT_LEVEL_COSTS[ObjType.MACHINE]
-        )
-        base = costs.transfer_time(nbytes)
+        base = self._costs_of_level[level].transfer_time(nbytes)
         if t.pending_penalty > 0.0:
             base += t.pending_penalty
             t.pending_penalty = 0.0

@@ -1,0 +1,188 @@
+"""Benchmark-trajectory harness: measure, don't guess.
+
+Emits one ``BENCH_<stamp>.json`` per invocation so the repo accumulates
+a performance trajectory across commits.  Sections:
+
+* ``engine`` — raw event-loop throughput: :meth:`Engine.run`'s drain
+  loop vs a bare ``while engine.step(): pass`` reference, in
+  events/second, on a self-rescheduling ping workload.  ``run`` should
+  stay within noise of the bare loop (it adds only the runaway guard);
+  a ratio well below 1.0 flags an event-loop regression.
+* ``fig1`` — the experiment that matters: a Figure-1 sweep run serially
+  (``n_workers=1``, the reference path) and through the process pool
+  (``n_workers=0`` = all host cores), with wall-clock seconds, speedup,
+  runner stats, and a bit-identity verdict from the per-point
+  determinism fingerprints.
+* ``treematch`` — Algorithm 1 wall time per matrix order (the
+  launch-time mapping must stay cheap).
+
+Usage::
+
+    python -m repro.tools.bench                # full measurement
+    python -m repro.tools.bench --quick        # CI-sized, ~seconds
+    python -m repro.tools.bench --output BENCH_ci.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any
+
+from repro.exec.runner import SweepRunner, resolve_workers
+from repro.experiments.ablations import treematch_cost_curve
+from repro.experiments.fig1 import run_fig1
+from repro.simulate.engine import Engine
+
+
+def _engine_throughput(n_events: int, mode: str) -> dict[str, float]:
+    """Events/second of one drained engine using ``run`` or ``step``."""
+    eng = Engine()
+    count = 0
+
+    def tick() -> None:
+        nonlocal count
+        count += 1
+        if count < n_events:
+            eng.schedule(1.0, tick)
+
+    eng.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    if mode == "run":
+        eng.run()
+    else:
+        while eng.step():
+            pass
+    wall = time.perf_counter() - t0
+    return {
+        "events": float(eng.events_fired),
+        "wall_s": wall,
+        "events_per_sec": eng.events_fired / wall if wall > 0 else 0.0,
+    }
+
+
+def bench_engine(n_events: int) -> dict[str, Any]:
+    """``run`` drain loop vs bare ``step`` loop event throughput."""
+    stepped = _engine_throughput(n_events, "step")
+    run_loop = _engine_throughput(n_events, "run")
+    return {
+        "n_events": n_events,
+        "stepped": stepped,
+        "run_loop": run_loop,
+        "run_over_stepped": (
+            run_loop["events_per_sec"] / stepped["events_per_sec"]
+            if stepped["events_per_sec"] > 0 else 0.0
+        ),
+    }
+
+
+def bench_fig1(
+    core_counts: tuple[int, ...], iterations: int, n: int, seed: int
+) -> dict[str, Any]:
+    """Serial vs parallel Figure-1 sweep: wall clock + bit-identity."""
+    serial_runner = SweepRunner(n_workers=1)
+    t0 = time.perf_counter()
+    serial = run_fig1(
+        core_counts=core_counts, iterations=iterations, n=n, seed=seed,
+        fingerprint=True, runner=serial_runner,
+    )
+    serial_wall = time.perf_counter() - t0
+
+    parallel_runner = SweepRunner(n_workers=0)
+    t0 = time.perf_counter()
+    parallel = run_fig1(
+        core_counts=core_counts, iterations=iterations, n=n, seed=seed,
+        fingerprint=True, runner=parallel_runner,
+    )
+    parallel_wall = time.perf_counter() - t0
+
+    identical = [
+        (a.implementation, a.n_cores) == (b.implementation, b.n_cores)
+        and a.time == b.time
+        and a.fingerprint == b.fingerprint
+        for a, b in zip(serial.points, parallel.points)
+    ]
+    return {
+        "core_counts": list(core_counts),
+        "iterations": iterations,
+        "n": n,
+        "n_points": len(serial.points),
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "parallel_stats": parallel_runner.last_stats,
+        "bit_identical": all(identical) and len(identical) == len(serial.points),
+    }
+
+
+def bench_treematch(orders: tuple[int, ...]) -> dict[str, Any]:
+    """Algorithm 1 cost per matrix order."""
+    curve = treematch_cost_curve(orders=orders)
+    return {"orders": list(orders), "seconds": [s for _, s in curve]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized configuration (seconds, not minutes)")
+    parser.add_argument("--output", metavar="FILE",
+                        help="output path (default BENCH_<stamp>.json)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        engine_events = 200_000
+        core_counts: tuple[int, ...] = (8, 16)
+        iterations, n = 2, 1024
+        tm_orders: tuple[int, ...] = (16, 32, 64)
+    else:
+        engine_events = 2_000_000
+        core_counts = (8, 16, 32, 64)
+        iterations, n = 3, 8192
+        tm_orders = (16, 32, 64, 128, 256)
+
+    host_cores = resolve_workers(None)
+    report: dict[str, Any] = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "host_cores": host_cores,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "quick": args.quick,
+        }
+    }
+
+    print(f"[bench] engine throughput ({engine_events} events)...")
+    report["engine"] = bench_engine(engine_events)
+    e = report["engine"]
+    print(f"  stepped: {e['stepped']['events_per_sec']:,.0f} ev/s   "
+          f"run: {e['run_loop']['events_per_sec']:,.0f} ev/s   "
+          f"ratio: {e['run_over_stepped']:.2f}x")
+
+    print(f"[bench] fig1 sweep serial vs parallel "
+          f"(cores={list(core_counts)}, host has {host_cores} CPU(s))...")
+    report["fig1"] = bench_fig1(core_counts, iterations, n, args.seed)
+    f = report["fig1"]
+    print(f"  serial: {f['serial_wall_s']:.2f}s   "
+          f"parallel[{f['parallel_stats'].get('n_workers')}w]: "
+          f"{f['parallel_wall_s']:.2f}s   speedup: {f['speedup']:.2f}x   "
+          f"bit-identical: {f['bit_identical']}")
+
+    print(f"[bench] treematch cost curve (orders={list(tm_orders)})...")
+    report["treematch"] = bench_treematch(tm_orders)
+
+    out = args.output or time.strftime("BENCH_%Y%m%d_%H%M%S.json")
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"[bench] wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

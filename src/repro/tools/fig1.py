@@ -26,6 +26,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--csv", metavar="FILE", help="also write points as CSV")
     parser.add_argument("--plot", action="store_true", help="ASCII chart of the curves")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="sweep worker processes (0 = all host cores, "
+                             "1 = serial; results are identical either way)")
     args = parser.parse_args(argv)
 
     result = run_fig1(
@@ -33,6 +36,7 @@ def main(argv: list[str] | None = None) -> int:
         iterations=args.iterations,
         n=args.n,
         seed=args.seed,
+        n_workers=args.workers,
     )
     print(result.table())
     if args.plot:

@@ -58,6 +58,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cores", type=int, nargs="+",
                         default=[8, 16, 32, 64, 96, 192],
                         help="core counts to sweep (whole sockets of 8)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="sweep worker processes (0 = all host cores, "
+                             "1 = serial; results are identical either way)")
     args = parser.parse_args(argv)
 
     print("Reproducing: Gustedt, Jeannot, Mansouri — 'Optimizing Locality by")
@@ -74,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
         iterations=args.iterations,
         n=16384,
         seed=args.seed,
+        n_workers=args.workers,
     )
     print(result.table())
     print()
