@@ -25,7 +25,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observe.tracer import Tracer
 
 #: Event kinds, in the order a healthy sweep emits them.  ``worker_crash``,
-#: ``retry`` and ``serial_fallback`` only appear on the resilience path.
+#: ``retry`` and ``serial_fallback`` only appear on the resilience path;
+#: ``point_stats`` is emitted by :mod:`repro.stats.sweep` after a
+#: replicated sweep aggregates one point (one event per point, after
+#: ``sweep_end``; ``label`` is the point label, ``detail`` the
+#: rendered :class:`~repro.stats.aggregate.SeedStats`).  In a
+#: replicated sweep each replicate is its own task, so ``point_done``
+#: fires once per replicate with a ``label#s<r>`` suffix.
 SWEEP_EVENT_KINDS = (
     "sweep_start",
     "point_done",
@@ -34,6 +40,7 @@ SWEEP_EVENT_KINDS = (
     "retry",
     "serial_fallback",
     "sweep_end",
+    "point_stats",
 )
 
 

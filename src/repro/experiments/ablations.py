@@ -20,17 +20,35 @@ import time as _time
 from typing import Sequence
 
 from repro.comm import patterns
-from repro.exec.runner import SweepRunner, Task
 from repro.kernels.lk23_orwl import Lk23Config, build_program
 from repro.orwl.runtime import Runtime
 from repro.placement.affinity import matrix_correlation, static_matrix, traced_matrix
 from repro.placement.binder import bind_program
 from repro.placement.policies import make_policy
 from repro.simulate.machine import Machine
+from repro.stats.sweep import ReplicateSpec, run_replicated
 from repro.topology import presets
 from repro.topology.tree import Topology
 from repro.treematch import cost as cost_mod
 from repro.treematch.algorithm import tree_match
+
+
+def _attach_time_stats(row: dict[str, float], stats) -> dict[str, float]:
+    """Extend an ablation result row with its replicate aggregate.
+
+    Rows stay plain dicts (the benchmarks render them as-is); the stats
+    keys appear only for multi-seed runs, so single-seed output is
+    unchanged down to the key set.
+    """
+    row = dict(row)
+    row.update(
+        time_mean=stats.mean,
+        time_stddev=stats.stddev,
+        time_ci_lo=stats.ci_lo,
+        time_ci_hi=stats.ci_hi,
+        n_seeds=float(stats.n),
+    )
+    return row
 
 #: Policies compared by the mapping-quality ablation.
 BASELINE_POLICIES = ("treematch", "compact", "scatter", "round-robin", "random")
@@ -98,14 +116,14 @@ _CONTROL_SCENARIOS = {
 }
 
 
-def _control_scenario(name: str, iterations: int) -> dict[str, float]:
+def _control_scenario(name: str, iterations: int, seed: int = 1) -> dict[str, float]:
     """One A3 scenario; module-level so the sweep runner can pickle it."""
     (factory, *args), (rows, cols) = _CONTROL_SCENARIOS[name]
     topo = getattr(presets, factory)(*args)
     cfg = Lk23Config(n=4096, grid_rows=rows, grid_cols=cols, iterations=iterations)
     prog = build_program(cfg)
     plan = bind_program(prog, topo, policy="treematch")
-    machine = Machine(topo, seed=1)
+    machine = Machine(topo, seed=seed)
     runtime = Runtime(
         prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
     )
@@ -118,7 +136,7 @@ def _control_scenario(name: str, iterations: int) -> dict[str, float]:
 
 
 def control_strategy_comparison(
-    iterations: int = 3, n_workers: int = 1
+    iterations: int = 3, n_workers: int = 1, seeds: int = 1, base_seed: int = 1
 ) -> dict[str, dict[str, float]]:
     """A3: LK23 with the three control-thread branches.
 
@@ -131,17 +149,34 @@ def control_strategy_comparison(
 
     The scenarios are independent simulations; *n_workers* > 1 (or 0 =
     host cores) fans them out via :class:`repro.exec.SweepRunner`.
+    With *seeds* > 1 each scenario is replicated over derived seeds and
+    the returned rows gain ``time_mean`` / ``time_stddev`` /
+    ``time_ci_lo`` / ``time_ci_hi`` / ``n_seeds`` keys.
     """
     names = list(_CONTROL_SCENARIOS)
-    runner = SweepRunner(n_workers=n_workers)
-    rows = runner.map(
-        [Task(_control_scenario, dict(name=n, iterations=iterations), label=n)
-         for n in names]
+    sweep = run_replicated(
+        [
+            ReplicateSpec(
+                _control_scenario, dict(name=n, iterations=iterations),
+                key=(n,), label=n,
+            )
+            for n in names
+        ],
+        seeds=seeds,
+        base_seed=base_seed,
+        scope="ablation-control",
+        value_of=lambda row: row["time"],
+        n_workers=n_workers,
     )
-    return dict(zip(names, rows))
+    return {
+        p.key[0]: (
+            p.first if seeds == 1 else _attach_time_stats(p.first, p.stats)
+        )
+        for p in sweep.points
+    }
 
 
-def _oversub_point(factor: int, iterations: int) -> dict[str, float]:
+def _oversub_point(factor: int, iterations: int, seed: int = 2) -> dict[str, float]:
     """One A4 oversubscription factor; module-level for the runner."""
     topo = presets.paper_smp(8, 8)  # 64 cores
     n_tasks = topo.nb_pus * factor
@@ -157,7 +192,7 @@ def _oversub_point(factor: int, iterations: int) -> dict[str, float]:
     from collections import Counter
 
     max_mains_per_pu = max(Counter(mains).values())
-    machine = Machine(topo, seed=2)
+    machine = Machine(topo, seed=seed)
     runtime = Runtime(
         prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
     )
@@ -174,19 +209,37 @@ def oversubscription_study(
     factors: Sequence[int] = (1, 2, 4),
     iterations: int = 3,
     n_workers: int = 1,
+    seeds: int = 1,
+    base_seed: int = 2,
 ) -> list[dict[str, float]]:
     """A4: tasks = factor × cores on an 8-socket machine.
 
     Checks that the virtual-level extension keeps the load balanced
     (max PU load == factor) and reports the simulated time per factor.
     Factors are independent runs; *n_workers* fans them out via
-    :class:`repro.exec.SweepRunner` (1 = serial reference path).
+    :class:`repro.exec.SweepRunner` (1 = serial reference path).  With
+    *seeds* > 1 each factor is replicated over derived seeds and the
+    rows gain ``time_mean`` / ``time_stddev`` / ``time_ci_*`` /
+    ``n_seeds`` keys.
     """
-    runner = SweepRunner(n_workers=n_workers)
-    return runner.map(
-        [Task(_oversub_point, dict(factor=f, iterations=iterations), label=f"x{f}")
-         for f in factors]
+    sweep = run_replicated(
+        [
+            ReplicateSpec(
+                _oversub_point, dict(factor=f, iterations=iterations),
+                key=(f,), label=f"x{f}",
+            )
+            for f in factors
+        ],
+        seeds=seeds,
+        base_seed=base_seed,
+        scope="ablation-oversub",
+        value_of=lambda row: row["time"],
+        n_workers=n_workers,
     )
+    return [
+        p.first if seeds == 1 else _attach_time_stats(p.first, p.stats)
+        for p in sweep.points
+    ]
 
 
 def affinity_extraction_fidelity(iterations: int = 3) -> dict[str, float]:

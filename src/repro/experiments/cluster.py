@@ -14,14 +14,16 @@ here.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.comm.patterns import square_grid_shape
 from repro.exec.cache import machine_inputs
-from repro.exec.runner import SweepRunner, Task
 from repro.kernels.lk23_orwl import Lk23Config, build_program
 from repro.orwl.runtime import Runtime
 from repro.placement.binder import bind_program
 from repro.simulate.machine import Machine
+from repro.stats.aggregate import SeedStats
+from repro.stats.sweep import ReplicateSpec, run_replicated
 from repro.topology.objects import ObjType
 
 #: Policies compared across the cluster (all produce bound mappings).
@@ -30,12 +32,19 @@ CLUSTER_POLICIES = ("treematch", "round-robin", "random")
 
 @dataclass
 class ClusterPoint:
-    """One policy's result on the cluster workload."""
+    """One policy's result on the cluster workload.
+
+    ``time_stats`` is populated for multi-seed runs
+    (:func:`run_cluster_lk23` with ``seeds > 1``): the aggregate of all
+    replicate times, while the scalar fields stay replicate 0's (the
+    base-seed run, identical to a single-seed sweep).
+    """
 
     policy: str
     time: float
     network_bytes: float  #: bytes that crossed the inter-node network
     local_fraction: float
+    time_stats: Optional[SeedStats] = None
 
 
 def _cluster_policy_point(
@@ -94,6 +103,7 @@ def run_cluster_lk23(
     seed: int = 0,
     shuffle_declaration: bool = True,
     n_workers: int = 1,
+    seeds: int = 1,
 ) -> dict[str, ClusterPoint]:
     """LK23 across a cluster under each policy; one task per core.
 
@@ -107,11 +117,15 @@ def run_cluster_lk23(
     Policies are independent runs; *n_workers* fans them out via
     :class:`repro.exec.SweepRunner` (1 = serial reference path, 0 =
     all host cores).  The returned dict is in *policies* order.
+
+    With *seeds* > 1 each policy is replicated over derived seeds —
+    which also re-shuffles the declaration order per replicate, so the
+    spread captures declaration-order luck, the main noise source for
+    the blind policies — and each returned point carries ``time_stats``.
     """
-    runner = SweepRunner(n_workers=n_workers)
-    points = runner.map(
+    sweep = run_replicated(
         [
-            Task(
+            ReplicateSpec(
                 _cluster_policy_point,
                 dict(
                     policy=policy,
@@ -120,24 +134,54 @@ def run_cluster_lk23(
                     cores_per_socket=cores_per_socket,
                     n=n,
                     iterations=iterations,
-                    seed=seed,
                     shuffle_declaration=shuffle_declaration,
                 ),
+                key=(policy,),
                 label=policy,
             )
             for policy in policies
-        ]
+        ],
+        seeds=seeds,
+        base_seed=seed,
+        scope="cluster",
+        value_of=_cluster_point_time,
+        n_workers=n_workers,
     )
-    return {p.policy: p for p in points}
+    out: dict[str, ClusterPoint] = {}
+    for p in sweep.points:
+        point = p.first
+        if seeds > 1:
+            point.time_stats = p.stats
+        out[point.policy] = point
+    return out
+
+
+def _cluster_point_time(point: ClusterPoint) -> float:
+    return point.time
 
 
 def table(points: dict[str, ClusterPoint]) -> str:
-    """Aligned text table of a cluster run."""
+    """Aligned text table of a cluster run.
+
+    Multi-seed points (``time_stats`` set) get mean ± stddev and CI
+    columns; single-seed tables are rendered exactly as before.
+    """
+    with_stats = any(p.time_stats is not None for p in points.values())
     header = f"{'policy':<14} {'time (ms)':>10} {'network MB':>12} {'NUMA-local':>11}"
+    if with_stats:
+        header += f" {'mean±sd (ms)':>18} {'95% CI (ms)':>20} {'n':>3}"
     lines = [header, "-" * len(header)]
     for name, p in points.items():
-        lines.append(
+        line = (
             f"{name:<14} {p.time * 1000:>10.2f} {p.network_bytes / 1e6:>12.2f} "
             f"{p.local_fraction:>11.1%}"
         )
+        if with_stats and p.time_stats is not None:
+            s = p.time_stats
+            line += (
+                f" {f'{s.mean * 1000:.2f}±{s.stddev * 1000:.2f}':>18}"
+                f" {f'[{s.ci_lo * 1000:.2f}, {s.ci_hi * 1000:.2f}]':>20}"
+                f" {s.n:>3}"
+            )
+        lines.append(line)
     return "\n".join(lines)

@@ -24,12 +24,15 @@ from typing import Optional, Sequence
 
 from repro.comm.patterns import square_grid_shape
 from repro.exec.cache import machine_inputs
-from repro.exec.runner import SweepRunner, Task
+from repro.exec.runner import SweepRunner
 from repro.kernels.lk23_orwl import Lk23Config, build_program
 from repro.kernels.openmp import OpenMpConfig, run_openmp_lk23
 from repro.orwl.runtime import Runtime
 from repro.placement.binder import bind_program
 from repro.simulate.machine import Machine
+from repro.stats.aggregate import SeedStats
+from repro.stats.significance import SpeedupVerdict, compare
+from repro.stats.sweep import ReplicateSpec, run_replicated
 from repro.util.validate import ValidationError
 
 #: The implementations of the figure, in its legend order.
@@ -54,17 +57,53 @@ class Fig1Point:
 
 @dataclass
 class Fig1Result:
-    """All points of the sweep plus the paper-claim checks."""
+    """All points of the sweep plus the paper-claim checks.
+
+    With a multi-seed sweep (``run_fig1(..., seeds=N)``), ``points``
+    holds replicate 0 of every point — the base-seed run, bit-identical
+    to the historical single-seed sweep — while ``replicates`` keeps all
+    N :class:`Fig1Point` per ``(implementation, n_cores)`` key and
+    ``seed_stats`` their per-point time aggregates.
+    """
 
     points: list[Fig1Point] = field(default_factory=list)
     iterations: int = 0
     n: int = 0
+    #: Replicates per sweep point (``run_fig1`` with ``seeds=N``).
+    n_seeds: int = 1
+    #: ``(implementation, n_cores) -> SeedStats`` over replicate times.
+    seed_stats: dict[tuple[str, int], SeedStats] = field(default_factory=dict)
+    #: ``(implementation, n_cores) -> all replicate points`` (replicate 0
+    #: first; identical to the matching ``points`` entry).
+    replicates: dict[tuple[str, int], tuple[Fig1Point, ...]] = field(
+        default_factory=dict
+    )
+
+    def _missing_key_error(self, implementation: str, n_cores: int) -> KeyError:
+        have_impls = sorted({p.implementation for p in self.points})
+        have_cores = sorted({p.n_cores for p in self.points})
+        return KeyError(
+            f"no point (implementation={implementation!r}, n_cores={n_cores}); "
+            f"swept implementations {have_impls or '(none)'} "
+            f"at core counts {have_cores or '(none)'}"
+        )
 
     def time_of(self, implementation: str, n_cores: int) -> float:
         try:
             return self._index()[implementation, n_cores]
         except KeyError:
-            raise KeyError(f"no point ({implementation}, {n_cores})") from None
+            raise self._missing_key_error(implementation, n_cores) from None
+
+    def stats_of(self, implementation: str, n_cores: int) -> SeedStats:
+        """The :class:`SeedStats` of one point's replicate times."""
+        try:
+            return self.seed_stats[implementation, n_cores]
+        except KeyError:
+            raise self._missing_key_error(implementation, n_cores) from None
+
+    def times_of(self, implementation: str, n_cores: int) -> tuple[float, ...]:
+        """All replicate times of one point (sorted ascending)."""
+        return self.stats_of(implementation, n_cores).values
 
     def _index(self) -> dict[tuple[str, int], float]:
         """``(implementation, n_cores) -> time``, built once per points size.
@@ -100,8 +139,84 @@ class Fig1Result:
         """(cores, time) of the implementation's fastest point."""
         series = self.series(implementation)
         if not series:
-            raise KeyError(f"no points for {implementation}")
+            raise KeyError(
+                f"no points for implementation={implementation!r}; swept "
+                f"implementations {sorted({p.implementation for p in self.points}) or '(none)'}"
+            )
         return min(series, key=lambda cv: cv[1])
+
+    # -- multi-seed statistics (populated by ``run_fig1(..., seeds=N)``) ---
+
+    def mean_series(self, implementation: str) -> list[tuple[int, SeedStats]]:
+        """(cores, SeedStats) pairs of one curve, sorted by cores."""
+        return sorted(
+            (c, s) for (impl, c), s in self.seed_stats.items()
+            if impl == implementation
+        )
+
+    def best_mean(self, implementation: str) -> tuple[int, SeedStats]:
+        """(cores, SeedStats) of the point with the lowest mean time."""
+        series = self.mean_series(implementation)
+        if not series:
+            raise KeyError(
+                f"no seed statistics for implementation={implementation!r}; "
+                "run the sweep with seeds >= 1 via run_fig1()"
+            )
+        return min(series, key=lambda cs: cs[1].mean)
+
+    def speedup_verdicts(self, alpha: float = 0.05) -> list[SpeedupVerdict]:
+        """Pairwise best-point speedup comparisons with significance.
+
+        Compares ORWL-Bind (the paper's winner) against every other
+        swept implementation at each side's best-mean core count —
+        the multi-seed version of :meth:`speedup_vs_openmp` /
+        :meth:`speedup_vs_nobind`.  With a single seed per point the
+        verdict is ``insufficient-data``: one run supports no inference,
+        which is precisely the caveat on the paper's Figure 1.
+        """
+        have = {impl for impl, _ in self.seed_stats}
+        if "orwl-bind" not in have:
+            return []
+        _, bind = self.best_mean("orwl-bind")
+        out = []
+        for impl in IMPLEMENTATIONS:
+            if impl == "orwl-bind" or impl not in have:
+                continue
+            _, other = self.best_mean(impl)
+            out.append(
+                compare(
+                    impl, other.values, "orwl-bind", bind.values,
+                    alpha=alpha, confidence=bind.confidence,
+                )
+            )
+        return out
+
+    def stats_table(self) -> str:
+        """Per-point mean / stddev / CI as an aligned text table."""
+        if not self.seed_stats:
+            return "(no seed statistics; run with seeds >= 1)"
+        level = next(iter(self.seed_stats.values())).confidence
+        header = (
+            f"{'cores':>6} {'implementation':<14} {'n':>3} {'mean':>10} "
+            f"{'stddev':>10} {f'{level:.0%} CI':>24}"
+        )
+        lines = [header, "-" * len(header)]
+        for c in self.core_counts():
+            for impl in IMPLEMENTATIONS:
+                s = self.seed_stats.get((impl, c))
+                if s is None:
+                    continue
+                lines.append(
+                    f"{c:>6} {impl:<14} {s.n:>3} {s.mean:>10.4f} "
+                    f"{s.stddev:>10.4f} "
+                    f"{f'[{s.ci_lo:.4f}, {s.ci_hi:.4f}]':>24}"
+                )
+        verdicts = self.speedup_verdicts()
+        if verdicts:
+            lines.append("")
+            for v in verdicts:
+                lines.append(str(v))
+        return "\n".join(lines)
 
     # -- the paper's scalar claims ----------------------------------------
 
@@ -263,6 +378,12 @@ def run_point(
     )
 
 
+def _point_time(point: Fig1Point) -> float:
+    """``value_of`` extractor for the replicated sweep (module-level so
+    it stays importable, though aggregation runs in the parent only)."""
+    return point.time
+
+
 def run_fig1(
     core_counts: Sequence[int] = (8, 16, 32, 64, 96, 192),
     iterations: int = 5,
@@ -272,6 +393,8 @@ def run_fig1(
     n_workers: int = 1,
     fingerprint: bool = False,
     runner: Optional[SweepRunner] = None,
+    seeds: int = 1,
+    confidence: float = 0.95,
 ) -> Fig1Result:
     """The full Figure-1 sweep.
 
@@ -286,25 +409,46 @@ def run_fig1(
     the same (core count, implementation) order either way and
     bit-identical across worker counts.  Pass a pre-configured *runner*
     (progress callbacks, crash policy) to override *n_workers*.
+
+    *seeds* replicates every point that many times: replicate 0 runs
+    with *seed* unchanged (so ``seeds=1`` is bit-identical to the
+    historical single-run sweep), replicate r > 0 with
+    ``derive_seed(seed, "fig1", implementation, n_cores, r)``.  The
+    result then carries per-point :class:`~repro.stats.SeedStats` at
+    *confidence* plus all replicate points — see
+    :meth:`Fig1Result.stats_table` and
+    :meth:`Fig1Result.speedup_verdicts`.
     """
-    result = Fig1Result(iterations=iterations, n=n)
-    tasks = [
-        Task(
+    result = Fig1Result(iterations=iterations, n=n, n_seeds=seeds)
+    specs = [
+        ReplicateSpec(
             run_point,
             dict(
                 implementation=impl,
                 n_cores=c,
                 iterations=iterations,
                 n=n,
-                seed=seed,
                 fingerprint=fingerprint,
             ),
+            key=(impl, c),
             label=f"{impl}@{c}",
         )
         for c in core_counts
         for impl in implementations
     ]
-    if runner is None:
-        runner = SweepRunner(n_workers=n_workers)
-    result.points.extend(runner.map(tasks))
+    sweep = run_replicated(
+        specs,
+        seeds=seeds,
+        base_seed=seed,
+        scope="fig1",
+        value_of=_point_time,
+        confidence=confidence,
+        runner=runner,
+        n_workers=n_workers,
+    )
+    for point in sweep.points:
+        result.points.append(point.first)
+        result.replicates[point.key] = tuple(point.results)
+        if point.stats is not None:
+            result.seed_stats[point.key] = point.stats
     return result

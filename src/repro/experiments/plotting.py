@@ -3,15 +3,19 @@
 No plotting library is available offline, so figures are rendered as
 text — good enough to eyeball the crossovers the paper's Figure 1
 shows.  :func:`ascii_plot` is generic; :func:`plot_fig1` adapts a
-:class:`~repro.experiments.fig1.Fig1Result`.
+:class:`~repro.experiments.fig1.Fig1Result`, including shaded
+confidence bands when the sweep was run with multiple seeds.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 #: Marker per series, cycled.
 MARKERS = "ox+*#@"
+
+#: Fill character of confidence bands (drawn under the series markers).
+BAND_FILL = "."
 
 
 def ascii_plot(
@@ -21,36 +25,56 @@ def ascii_plot(
     logy: bool = False,
     xlabel: str = "",
     ylabel: str = "",
+    bands: Optional[Mapping[str, Sequence[tuple[float, float, float]]]] = None,
 ) -> str:
     """Render named (x, y) series as an ASCII scatter/line chart.
 
     Points are placed on a *width* × *height* grid scaled to the data
     bounds; each series uses the next marker from :data:`MARKERS`.
+
+    *bands* optionally maps series names to ``(x, y_lo, y_hi)`` spans
+    (e.g. confidence intervals).  Each span is filled vertically with
+    :data:`BAND_FILL` *under* the markers, and the band bounds take
+    part in the axis scaling so the bands never clip.
     """
     import math
 
+    bands = bands or {}
     pts = [(x, y) for s in series.values() for x, y in s]
     if not pts:
         return "(no data)"
-    xs = [p[0] for p in pts]
+    xs = [p[0] for p in pts] + [x for b in bands.values() for x, _, _ in b]
     ys = [p[1] for p in pts]
+    band_ys = [y for b in bands.values() for _, lo, hi in b for y in (lo, hi)]
+    all_ys = ys + band_ys
     if logy:
-        if min(ys) <= 0:
+        if min(all_ys) <= 0:
             raise ValueError("logy requires positive y values")
         ys = [math.log10(y) for y in ys]
+        all_ys = [math.log10(y) for y in all_ys]
     x0, x1 = min(xs), max(xs)
-    y0, y1 = min(ys), max(ys)
+    y0, y1 = min(all_ys), max(all_ys)
     xspan = (x1 - x0) or 1.0
     yspan = (y1 - y0) or 1.0
 
+    def col_of(x: float) -> int:
+        return int((x - x0) / xspan * (width - 1))
+
+    def row_of(y: float) -> int:
+        yy = math.log10(y) if logy else y
+        return int((yy - y0) / yspan * (height - 1))
+
     grid = [[" "] * width for _ in range(height)]
+    # Bands first, so series markers overwrite the fill.
+    for data in bands.values():
+        for x, lo, hi in data:
+            col = col_of(x)
+            for row in range(row_of(lo), row_of(hi) + 1):
+                grid[height - 1 - row][col] = BAND_FILL
     for k, (name, data) in enumerate(series.items()):
         marker = MARKERS[k % len(MARKERS)]
         for x, y in data:
-            yy = math.log10(y) if logy else y
-            col = int((x - x0) / xspan * (width - 1))
-            row = int((yy - y0) / yspan * (height - 1))
-            grid[height - 1 - row][col] = marker
+            grid[height - 1 - row_of(y)][col_of(x)] = marker
 
     top = 10 ** y1 if logy else y1
     bot = 10 ** y0 if logy else y0
@@ -64,6 +88,8 @@ def ascii_plot(
     legend = "   ".join(
         f"{MARKERS[k % len(MARKERS)]} = {name}" for k, name in enumerate(series)
     )
+    if bands:
+        legend += f"   {BAND_FILL} = confidence band"
     footer = []
     if xlabel or ylabel:
         footer.append(f"x: {xlabel}   y: {ylabel}".strip())
@@ -72,11 +98,27 @@ def ascii_plot(
 
 
 def plot_fig1(result, width: int = 64, height: int = 18, logy: bool = True) -> str:
-    """ASCII rendering of a Figure-1 sweep (time vs cores, log y)."""
+    """ASCII rendering of a Figure-1 sweep (time vs cores, log y).
+
+    A multi-seed result (``run_fig1(..., seeds=N)`` with N > 1) plots
+    the per-point *mean* time and shades each curve's bootstrap
+    confidence interval as a band of dots.
+    """
     from repro.experiments.fig1 import IMPLEMENTATIONS
 
-    series = {impl: result.series(impl) for impl in IMPLEMENTATIONS}
-    series = {k: v for k, v in series.items() if v}
+    bands = None
+    if result.n_seeds > 1 and result.seed_stats:
+        series = {}
+        bands = {}
+        for impl in IMPLEMENTATIONS:
+            mean_series = result.mean_series(impl)
+            if not mean_series:
+                continue
+            series[impl] = [(c, s.mean) for c, s in mean_series]
+            bands[impl] = [(c, s.ci_lo, s.ci_hi) for c, s in mean_series]
+    else:
+        series = {impl: result.series(impl) for impl in IMPLEMENTATIONS}
+        series = {k: v for k, v in series.items() if v}
     return ascii_plot(
         series,
         width=width,
@@ -84,4 +126,5 @@ def plot_fig1(result, width: int = 64, height: int = 18, logy: bool = True) -> s
         logy=logy,
         xlabel="cores",
         ylabel="processing time (simulated s)",
+        bands=bands,
     )

@@ -1,0 +1,60 @@
+"""Multi-seed statistics over sweeps (``repro.stats``).
+
+The paper reports single runs per core count; this layer makes the
+reproduction say something stronger — it runs N independent seeds per
+sweep point (on top of :class:`repro.exec.SweepRunner`, so serial and
+parallel replication are bit-identical), aggregates each point into
+mean / median / stddev / bootstrap confidence interval, and compares
+implementation pairs with a significance verdict.
+
+Three modules:
+
+* :mod:`repro.stats.aggregate` — :class:`SeedStats` and
+  :func:`summarize` (deterministic, seed-order invariant, bootstrap
+  percentile CI that always contains the sample mean);
+* :mod:`repro.stats.significance` — :func:`compare` /
+  :class:`SpeedupVerdict` (speedup distribution with CI + permutation
+  test, "insufficient-data" for single runs);
+* :mod:`repro.stats.sweep` — :func:`run_replicated` /
+  :class:`ReplicateSpec` (the points × seeds expansion; replicate 0
+  keeps the base seed so N=1 reproduces the historical single-run
+  results bit-identically, replicate r > 0 uses
+  :func:`repro.exec.derive_seed`).
+
+The experiments wire this behind a ``seeds=N`` knob (CLI ``--seeds``),
+default 1 = today's single-run behavior, unchanged to the byte.
+"""
+
+from __future__ import annotations
+
+from repro.stats.aggregate import DEFAULT_N_BOOT, SeedStats, summarize
+from repro.stats.significance import (
+    SpeedupVerdict,
+    compare,
+    compare_stats,
+    permutation_pvalue,
+    speedup_distribution,
+)
+from repro.stats.sweep import (
+    ReplicatedPoint,
+    ReplicatedSweep,
+    ReplicateSpec,
+    replicate_seeds,
+    run_replicated,
+)
+
+__all__ = [
+    "DEFAULT_N_BOOT",
+    "ReplicatedPoint",
+    "ReplicatedSweep",
+    "ReplicateSpec",
+    "SeedStats",
+    "SpeedupVerdict",
+    "compare",
+    "compare_stats",
+    "permutation_pvalue",
+    "replicate_seeds",
+    "run_replicated",
+    "speedup_distribution",
+    "summarize",
+]

@@ -1,0 +1,205 @@
+"""Pairwise speedup distributions and significance verdicts.
+
+The paper's Figure 1 reports single runs, so a reproduction that also
+runs once per point cannot say whether "ORWL-Bind is 5× faster than
+OpenMP" is a placement effect or seed luck.  This module turns two
+replicate samples (baseline vs candidate processing times) into:
+
+* a **speedup distribution** — bootstrap resamples of
+  ``mean(baseline) / mean(candidate)`` with a percentile CI;
+* a **permutation test** p-value on the difference of means (exact
+  enumeration when the group sizes allow, seeded Monte Carlo
+  otherwise);
+* a **verdict**: ``significant`` when the two per-group confidence
+  intervals do not overlap *or* the permutation p-value clears *alpha*;
+  ``insufficient-data`` when either side has fewer than two replicates
+  (a single run supports no inference — exactly the paper's situation).
+
+Everything is deterministic: fixed internal streams, inputs sorted
+before use, so serial and parallel sweeps produce bit-identical
+verdicts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.stats.aggregate import SeedStats, summarize
+from repro.util.validate import ValidationError
+
+#: Fixed streams, distinct from the aggregation bootstrap.
+_SPEEDUP_SEED = 20160927
+_PERMUTE_SEED = 20160928
+
+#: Exact permutation enumeration is used while C(n_a+n_b, n_a) stays
+#: below this; beyond it a seeded Monte Carlo sample is drawn instead.
+EXACT_PERMUTATION_LIMIT = 20_000
+
+
+@dataclass(frozen=True)
+class SpeedupVerdict:
+    """The comparison of one implementation pair.
+
+    ``speedup_mean`` is ``mean(baseline times) / mean(candidate times)``
+    — > 1 means the candidate is faster.  ``p_value`` is ``None`` when
+    either sample is a single run.
+    """
+
+    baseline: str
+    candidate: str
+    speedup_mean: float
+    speedup_ci_lo: float
+    speedup_ci_hi: float
+    p_value: Optional[float]
+    alpha: float
+    significant: bool
+    verdict: str  #: "significant" | "not-significant" | "insufficient-data"
+    method: str  #: "exact-permutation" | "monte-carlo-permutation" | "none"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        p = f"p={self.p_value:.4f}" if self.p_value is not None else "p=n/a"
+        return (
+            f"{self.candidate} vs {self.baseline}: "
+            f"{self.speedup_mean:.2f}x "
+            f"[{self.speedup_ci_lo:.2f}, {self.speedup_ci_hi:.2f}] "
+            f"{p} -> {self.verdict}"
+        )
+
+
+def permutation_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    n_perm: int = 10_000,
+) -> tuple[Optional[float], str]:
+    """Two-sided permutation test on the difference of means.
+
+    Returns ``(p_value, method)``; ``(None, "none")`` when either group
+    has fewer than two observations.  Exact enumeration of the
+    ``C(n_a+n_b, n_a)`` group relabelings is used when feasible,
+    otherwise *n_perm* seeded random relabelings (with the +1 additive
+    smoothing that keeps a Monte Carlo p-value valid and non-zero).
+    """
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    if a.size < 2 or b.size < 2:
+        return None, "none"
+    observed = abs(a.mean() - b.mean())
+    pooled = np.concatenate([a, b])
+    n_total, n_a = pooled.size, a.size
+    total_sum = float(pooled.sum())
+    # A relabeling is characterized by which indices form group A; the
+    # difference of means is then a pure function of group A's sum.
+    eps = 1e-12 * max(1.0, abs(observed))
+    if math.comb(n_total, n_a) <= EXACT_PERMUTATION_LIMIT:
+        hits = 0
+        count = 0
+        for combo in itertools.combinations(range(n_total), n_a):
+            sum_a = float(pooled[list(combo)].sum())
+            mean_a = sum_a / n_a
+            mean_b = (total_sum - sum_a) / (n_total - n_a)
+            if abs(mean_a - mean_b) >= observed - eps:
+                hits += 1
+            count += 1
+        return hits / count, "exact-permutation"
+    rng = np.random.default_rng(_PERMUTE_SEED)
+    hits = 0
+    for _ in range(n_perm):
+        perm = rng.permutation(n_total)
+        sum_a = float(pooled[perm[:n_a]].sum())
+        mean_a = sum_a / n_a
+        mean_b = (total_sum - sum_a) / (n_total - n_a)
+        if abs(mean_a - mean_b) >= observed - eps:
+            hits += 1
+    return (hits + 1) / (n_perm + 1), "monte-carlo-permutation"
+
+
+def speedup_distribution(
+    baseline_times: Sequence[float],
+    candidate_times: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+) -> tuple[float, float, float]:
+    """``(speedup, ci_lo, ci_hi)`` of mean(baseline)/mean(candidate).
+
+    The CI is a percentile bootstrap resampling both groups
+    independently; with single-run groups it degenerates to the point
+    estimate.  Deterministic (fixed stream, sorted inputs).
+    """
+    a = np.sort(np.asarray(baseline_times, dtype=float))
+    b = np.sort(np.asarray(candidate_times, dtype=float))
+    if a.size == 0 or b.size == 0:
+        raise ValidationError("speedup needs at least one time per group")
+    if float(b.mean()) == 0.0:
+        raise ValidationError("candidate mean time is zero")
+    point = float(a.mean()) / float(b.mean())
+    if a.size < 2 or b.size < 2:
+        return point, point, point
+    rng = np.random.default_rng(_SPEEDUP_SEED)
+    means_a = a[rng.integers(0, a.size, size=(n_boot, a.size))].mean(axis=1)
+    means_b = b[rng.integers(0, b.size, size=(n_boot, b.size))].mean(axis=1)
+    ratios = means_a / means_b
+    alpha = 1.0 - confidence
+    lo = float(np.quantile(ratios, alpha / 2.0))
+    hi = float(np.quantile(ratios, 1.0 - alpha / 2.0))
+    return point, min(lo, point), max(hi, point)
+
+
+def compare(
+    baseline: str,
+    baseline_times: Sequence[float],
+    candidate: str,
+    candidate_times: Sequence[float],
+    alpha: float = 0.05,
+    confidence: float = 0.95,
+    n_perm: int = 10_000,
+) -> SpeedupVerdict:
+    """Full pairwise comparison of two replicate samples.
+
+    *baseline_times* / *candidate_times* are processing times (lower is
+    better); the verdict says whether the candidate's advantage (or
+    deficit) is distinguishable from seed noise.
+    """
+    speedup, lo, hi = speedup_distribution(
+        baseline_times, candidate_times, confidence=confidence
+    )
+    p_value, method = permutation_pvalue(
+        baseline_times, candidate_times, n_perm=n_perm
+    )
+    if p_value is None:
+        return SpeedupVerdict(
+            baseline=baseline, candidate=candidate,
+            speedup_mean=speedup, speedup_ci_lo=lo, speedup_ci_hi=hi,
+            p_value=None, alpha=alpha, significant=False,
+            verdict="insufficient-data", method=method,
+        )
+    stats_a = summarize(baseline_times, confidence=confidence)
+    stats_b = summarize(candidate_times, confidence=confidence)
+    significant = (not stats_a.overlaps(stats_b)) or p_value < alpha
+    return SpeedupVerdict(
+        baseline=baseline, candidate=candidate,
+        speedup_mean=speedup, speedup_ci_lo=lo, speedup_ci_hi=hi,
+        p_value=p_value, alpha=alpha, significant=significant,
+        verdict="significant" if significant else "not-significant",
+        method=method,
+    )
+
+
+def compare_stats(
+    baseline: str,
+    baseline_stats: SeedStats,
+    candidate: str,
+    candidate_stats: SeedStats,
+    alpha: float = 0.05,
+    n_perm: int = 10_000,
+) -> SpeedupVerdict:
+    """:func:`compare` on two :class:`SeedStats` (uses their values)."""
+    return compare(
+        baseline, baseline_stats.values,
+        candidate, candidate_stats.values,
+        alpha=alpha, confidence=baseline_stats.confidence, n_perm=n_perm,
+    )

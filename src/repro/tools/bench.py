@@ -80,14 +80,22 @@ def bench_engine(n_events: int) -> dict[str, Any]:
 
 
 def bench_fig1(
-    core_counts: tuple[int, ...], iterations: int, n: int, seed: int
+    core_counts: tuple[int, ...], iterations: int, n: int, seed: int,
+    seeds: int = 1,
 ) -> dict[str, Any]:
-    """Serial vs parallel Figure-1 sweep: wall clock + bit-identity."""
+    """Serial vs parallel Figure-1 sweep: wall clock + bit-identity.
+
+    With *seeds* > 1 every point runs that many replicates; the report
+    then carries per-point variance rows (mean / stddev / bootstrap CI)
+    and pairwise speedup-significance verdicts, so the BENCH trajectory
+    records spread, not just point estimates.  Bit-identity is checked
+    across *all* replicates of both sweeps.
+    """
     serial_runner = SweepRunner(n_workers=1)
     t0 = time.perf_counter()
     serial = run_fig1(
         core_counts=core_counts, iterations=iterations, n=n, seed=seed,
-        fingerprint=True, runner=serial_runner,
+        fingerprint=True, runner=serial_runner, seeds=seeds,
     )
     serial_wall = time.perf_counter() - t0
 
@@ -95,27 +103,59 @@ def bench_fig1(
     t0 = time.perf_counter()
     parallel = run_fig1(
         core_counts=core_counts, iterations=iterations, n=n, seed=seed,
-        fingerprint=True, runner=parallel_runner,
+        fingerprint=True, runner=parallel_runner, seeds=seeds,
     )
     parallel_wall = time.perf_counter() - t0
 
+    serial_reps = [p for reps in serial.replicates.values() for p in reps]
+    parallel_reps = [p for reps in parallel.replicates.values() for p in reps]
     identical = [
         (a.implementation, a.n_cores) == (b.implementation, b.n_cores)
         and a.time == b.time
         and a.fingerprint == b.fingerprint
-        for a, b in zip(serial.points, parallel.points)
+        for a, b in zip(serial_reps, parallel_reps)
     ]
-    return {
+    report: dict[str, Any] = {
         "core_counts": list(core_counts),
         "iterations": iterations,
         "n": n,
+        "seeds": seeds,
         "n_points": len(serial.points),
+        "n_runs": len(serial_reps),
         "serial_wall_s": serial_wall,
         "parallel_wall_s": parallel_wall,
         "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
         "parallel_stats": parallel_runner.last_stats,
-        "bit_identical": all(identical) and len(identical) == len(serial.points),
+        "bit_identical": all(identical) and len(identical) == len(serial_reps),
     }
+    if seeds > 1:
+        report["stats"] = [
+            {
+                "implementation": impl,
+                "cores": cores,
+                "n": s.n,
+                "mean": s.mean,
+                "median": s.median,
+                "stddev": s.stddev,
+                "ci_lo": s.ci_lo,
+                "ci_hi": s.ci_hi,
+                "confidence": s.confidence,
+            }
+            for (impl, cores), s in sorted(serial.seed_stats.items())
+        ]
+        report["significance"] = [
+            {
+                "baseline": v.baseline,
+                "candidate": v.candidate,
+                "speedup_mean": v.speedup_mean,
+                "speedup_ci": [v.speedup_ci_lo, v.speedup_ci_hi],
+                "p_value": v.p_value,
+                "verdict": v.verdict,
+                "method": v.method,
+            }
+            for v in serial.speedup_verdicts()
+        ]
+    return report
 
 
 def bench_treematch(orders: tuple[int, ...]) -> dict[str, Any]:
@@ -133,6 +173,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", metavar="FILE",
                         help="output path (default BENCH_<stamp>.json)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="replicates per fig1 point; > 1 adds per-point "
+                             "variance rows and significance verdicts to the "
+                             "BENCH artifact")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -165,13 +209,24 @@ def main(argv: list[str] | None = None) -> int:
           f"ratio: {e['run_over_stepped']:.2f}x")
 
     print(f"[bench] fig1 sweep serial vs parallel "
-          f"(cores={list(core_counts)}, host has {host_cores} CPU(s))...")
-    report["fig1"] = bench_fig1(core_counts, iterations, n, args.seed)
+          f"(cores={list(core_counts)}, seeds={args.seeds}, "
+          f"host has {host_cores} CPU(s))...")
+    report["fig1"] = bench_fig1(core_counts, iterations, n, args.seed,
+                                seeds=args.seeds)
     f = report["fig1"]
     print(f"  serial: {f['serial_wall_s']:.2f}s   "
           f"parallel[{f['parallel_stats'].get('n_workers')}w]: "
           f"{f['parallel_wall_s']:.2f}s   speedup: {f['speedup']:.2f}x   "
           f"bit-identical: {f['bit_identical']}")
+    if args.seeds > 1:
+        for row in f["stats"]:
+            print(f"  {row['implementation']:>12}@{row['cores']:<4} "
+                  f"mean {row['mean']:.4f}  sd {row['stddev']:.4f}  "
+                  f"CI [{row['ci_lo']:.4f}, {row['ci_hi']:.4f}]  (n={row['n']})")
+        for v in f["significance"]:
+            p = f"p={v['p_value']:.4f}" if v["p_value"] is not None else "p=n/a"
+            print(f"  {v['candidate']} vs {v['baseline']}: "
+                  f"{v['speedup_mean']:.2f}x {p} -> {v['verdict']}")
 
     print(f"[bench] treematch cost curve (orders={list(tm_orders)})...")
     report["treematch"] = bench_treematch(tm_orders)

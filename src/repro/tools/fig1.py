@@ -5,6 +5,7 @@ Usage::
     python -m repro.tools.fig1                       # default sweep
     python -m repro.tools.fig1 --cores 8 64 192 --iterations 10
     python -m repro.tools.fig1 --csv fig1.csv
+    python -m repro.tools.fig1 --seeds 5 --workers 4 # multi-seed, with CI bands
 """
 
 from __future__ import annotations
@@ -29,6 +30,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=0,
                         help="sweep worker processes (0 = all host cores, "
                              "1 = serial; results are identical either way)")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="replicates per point (1 = the historical "
+                             "single-run sweep; > 1 adds mean/CI statistics "
+                             "and a speedup-significance verdict)")
     args = parser.parse_args(argv)
 
     result = run_fig1(
@@ -37,8 +42,14 @@ def main(argv: list[str] | None = None) -> int:
         n=args.n,
         seed=args.seed,
         n_workers=args.workers,
+        seeds=args.seeds,
     )
     print(result.table())
+    if args.seeds > 1:
+        print()
+        print(f"Per-point statistics over {args.seeds} seeds "
+              f"(base seed {args.seed}, replicate 0 = the table above):")
+        print(result.stats_table())
     if args.plot:
         from repro.experiments.plotting import plot_fig1
 
@@ -48,14 +59,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.csv:
         with open(args.csv, "w", newline="") as fh:
             writer = csv.writer(fh)
-            writer.writerow(
-                ["implementation", "cores", "sim_time_s", "local_fraction", "migrations"]
-            )
+            header = ["implementation", "cores", "sim_time_s",
+                      "local_fraction", "migrations"]
+            if args.seeds > 1:
+                header += ["time_mean", "time_stddev", "ci_lo", "ci_hi", "n_seeds"]
+            writer.writerow(header)
             for p in result.points:
-                writer.writerow(
-                    [p.implementation, p.n_cores, f"{p.time:.6f}",
-                     f"{p.local_fraction:.4f}", p.migrations]
-                )
+                row = [p.implementation, p.n_cores, f"{p.time:.6f}",
+                       f"{p.local_fraction:.4f}", p.migrations]
+                if args.seeds > 1:
+                    s = result.stats_of(p.implementation, p.n_cores)
+                    row += [f"{s.mean:.6f}", f"{s.stddev:.6f}",
+                            f"{s.ci_lo:.6f}", f"{s.ci_hi:.6f}", s.n]
+                writer.writerow(row)
         print(f"\nwrote {len(result.points)} points to {args.csv}")
     return 0
 

@@ -55,6 +55,47 @@ _SKIP_TYPES = {
     "L3iCache", "Die", "MemCache",
 }
 
+#: Upper bound on OS indices we accept.  A corrupted (or adversarial)
+#: file with ``os_index="10**18"`` would otherwise make the cpuset
+#: computation allocate a 10**18-bit integer; no real machine is
+#: within orders of magnitude of this.
+MAX_OS_INDEX = 1 << 20
+
+
+def _int_attr(
+    elem: ET.Element,
+    name: str,
+    default: Optional[int] = None,
+    minimum: int = 0,
+    maximum: Optional[int] = None,
+) -> Optional[int]:
+    """Read an integer attribute defensively.
+
+    Malformed exports (truncated writes, hand edits) must surface as a
+    clean :class:`TopologyError` naming the attribute — not as a
+    ``ValueError`` from ``int()`` deep in the recursion, and never as a
+    resource blow-up from an absurd value.
+    """
+    raw = elem.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise TopologyError(
+            f"<{elem.get('type', elem.tag)}> has non-integer {name}={raw!r}"
+        ) from None
+    if value < minimum:
+        raise TopologyError(
+            f"<{elem.get('type', elem.tag)}> has {name}={value} < {minimum}"
+        )
+    if maximum is not None and value > maximum:
+        raise TopologyError(
+            f"<{elem.get('type', elem.tag)}> has implausible {name}={value} "
+            f"(max {maximum})"
+        )
+    return value
+
 
 def _cache_type(elem: ET.Element) -> Optional[ObjType]:
     t = elem.get("type", "")
@@ -70,12 +111,12 @@ def _attrs_of(elem: ET.Element, type_: ObjType) -> tuple[Optional[CacheAttribute
     cache = None
     memory = None
     if type_.is_cache:
-        size = int(elem.get("cache_size", 0) or 0)
-        line = int(elem.get("cache_linesize", 64) or 64)
+        size = _int_attr(elem, "cache_size", default=0)
+        line = _int_attr(elem, "cache_linesize", default=64)
         if size > 0:
             cache = CacheAttributes(size=size, line_size=line or 64)
     if type_ is ObjType.NUMANODE:
-        local = int(elem.get("local_memory", 0) or 0)
+        local = _int_attr(elem, "local_memory", default=0)
         memory = MemoryAttributes(local_bytes=local)
     return cache, memory
 
@@ -104,8 +145,7 @@ def _convert(elem: ET.Element) -> Optional[TopologyObject]:
     type_ = _cache_type(elem) if hw_type == "Cache" else _TYPE_MAP.get(hw_type)
     if type_ is None:
         return None
-    os_index_s = elem.get("os_index")
-    os_index = int(os_index_s) if os_index_s is not None else None
+    os_index = _int_attr(elem, "os_index", maximum=MAX_OS_INDEX)
     cache, memory = _attrs_of(elem, type_)
     obj = TopologyObject(type_, os_index=os_index, cache=cache, memory=memory)
     for child in _convert_children(elem):
@@ -154,7 +194,15 @@ def _fold_v2_memory(obj: TopologyObject) -> None:
 
 
 def parse_hwloc_xml(text: str, name: str = "") -> Topology:
-    """Parse an hwloc XML document string."""
+    """Parse an hwloc XML document string.
+
+    Error contract: any malformed input — invalid XML, a non-hwloc
+    document, bogus attribute values (non-integer or negative indices,
+    absurd os indices), or a structurally invalid tree — raises
+    :class:`TopologyError` (a ``ValueError``).  It never crashes with
+    an arbitrary exception from deep inside the conversion; the fuzz
+    tests in ``tests/test_topology_fuzz.py`` pin this.
+    """
     try:
         root_elem = ET.fromstring(text)
     except ET.ParseError as exc:
@@ -164,11 +212,18 @@ def parse_hwloc_xml(text: str, name: str = "") -> Topology:
     machine_elem = root_elem.find("object")
     if machine_elem is None or machine_elem.get("type") != "Machine":
         raise TopologyError("hwloc XML has no Machine object")
-    machine = _convert(machine_elem)
-    if machine is None or machine.type is not ObjType.MACHINE:
-        raise TopologyError("could not convert the Machine object")
-    _fold_v2_memory(machine)
-    return Topology(machine, name=name or "hwloc-import")
+    try:
+        machine = _convert(machine_elem)
+        if machine is None or machine.type is not ObjType.MACHINE:
+            raise TopologyError("could not convert the Machine object")
+        _fold_v2_memory(machine)
+        return Topology(machine, name=name or "hwloc-import")
+    except TopologyError:
+        raise
+    except ValueError as exc:
+        # Attribute combinations the object model itself refuses
+        # (e.g. a zero-size cache) — normalize to the contract error.
+        raise TopologyError(f"invalid hwloc XML content: {exc}") from None
 
 
 def load_hwloc_xml(path: Union[str, Path]) -> Topology:

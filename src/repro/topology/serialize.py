@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Optional, Union
 
 from repro.topology.objects import (
     CacheAttributes,
@@ -20,6 +20,22 @@ from repro.topology.objects import (
 from repro.topology.tree import Topology, TopologyError
 
 FORMAT_VERSION = 1
+
+#: Same plausibility bound as the XML importer: an absurd os_index
+#: would make the cpuset bit vector astronomically wide.
+MAX_OS_INDEX = 1 << 20
+
+
+def _checked_int(value: Any, what: str, minimum: int = 0,
+                 maximum: Optional[int] = None) -> int:
+    """Validate an integer field of an untrusted document."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TopologyError(f"{what} must be an integer, got {value!r}")
+    if value < minimum:
+        raise TopologyError(f"{what} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise TopologyError(f"{what}={value} is implausible (max {maximum})")
+    return value
 
 
 def _obj_to_dict(obj: TopologyObject) -> dict[str, Any]:
@@ -47,32 +63,57 @@ def _obj_to_dict(obj: TopologyObject) -> dict[str, Any]:
 
 
 def _obj_from_dict(d: dict[str, Any]) -> TopologyObject:
+    if not isinstance(d, dict):
+        raise TopologyError(f"topology object must be a dict, got {type(d).__name__}")
     try:
         type_ = ObjType[d["type"]]
-    except KeyError:
+    except (KeyError, TypeError):
         raise TopologyError(f"unknown object type {d.get('type')!r}") from None
+    os_index = d.get("os_index")
+    if os_index is not None:
+        os_index = _checked_int(os_index, f"{type_.name} os_index",
+                                maximum=MAX_OS_INDEX)
     obj = TopologyObject(
         type_,
-        os_index=d.get("os_index"),
+        os_index=os_index,
         name=d.get("name", ""),
     )
-    if "cache" in d:
-        c = d["cache"]
-        obj.cache = CacheAttributes(
-            size=c["size"],
-            line_size=c.get("line_size", 64),
-            associativity=c.get("associativity", 8),
-            latency=c.get("latency", 0.0),
-        )
-    if "memory" in d:
-        m = d["memory"]
-        obj.memory = MemoryAttributes(
-            local_bytes=m["local_bytes"],
-            latency=m.get("latency", 0.0),
-            bandwidth=m.get("bandwidth", 0.0),
-        )
-    for child_d in d.get("children", ()):
-        obj.add_child(_obj_from_dict(child_d))
+    try:
+        if "cache" in d:
+            c = d["cache"]
+            if not isinstance(c, dict) or "size" not in c:
+                raise TopologyError(f"{type_.name} cache must be a dict with a size")
+            obj.cache = CacheAttributes(
+                size=_checked_int(c["size"], "cache size", minimum=1),
+                line_size=c.get("line_size", 64),
+                associativity=c.get("associativity", 8),
+                latency=c.get("latency", 0.0),
+            )
+        if "memory" in d:
+            m = d["memory"]
+            if not isinstance(m, dict) or "local_bytes" not in m:
+                raise TopologyError(
+                    f"{type_.name} memory must be a dict with local_bytes"
+                )
+            obj.memory = MemoryAttributes(
+                local_bytes=_checked_int(m["local_bytes"], "local_bytes"),
+                latency=m.get("latency", 0.0),
+                bandwidth=m.get("bandwidth", 0.0),
+            )
+    except TopologyError:
+        raise
+    except (ValueError, TypeError) as exc:
+        raise TopologyError(f"invalid {type_.name} attributes: {exc}") from None
+    children = d.get("children", ())
+    if not isinstance(children, (list, tuple)):
+        raise TopologyError(f"{type_.name} children must be a list")
+    for child_d in children:
+        try:
+            obj.add_child(_obj_from_dict(child_d))
+        except TopologyError:
+            raise
+        except ValueError as exc:
+            raise TopologyError(f"invalid child of {type_.name}: {exc}") from None
     return obj
 
 
@@ -87,13 +128,26 @@ def to_dict(topo: Topology) -> dict[str, Any]:
 
 
 def from_dict(d: dict[str, Any]) -> Topology:
-    """Rebuild a topology from :func:`to_dict` output."""
+    """Rebuild a topology from :func:`to_dict` output.
+
+    Error contract (mirroring :func:`repro.topology.hwloc_xml.parse_hwloc_xml`):
+    any malformed document raises :class:`TopologyError`; no other
+    exception type escapes.
+    """
+    if not isinstance(d, dict):
+        raise TopologyError(f"topology document must be a dict, got {type(d).__name__}")
     if d.get("format") != "repro-topology":
         raise TopologyError(f"not a repro-topology document: format={d.get('format')!r}")
-    if d.get("version", 0) > FORMAT_VERSION:
-        raise TopologyError(f"unsupported format version {d.get('version')}")
+    version = d.get("version", 0)
+    if not isinstance(version, int) or version > FORMAT_VERSION:
+        raise TopologyError(f"unsupported format version {version!r}")
+    if "root" not in d:
+        raise TopologyError("topology document has no root object")
     root = _obj_from_dict(d["root"])
-    return Topology(root, name=d.get("name", ""))
+    name = d.get("name", "")
+    if not isinstance(name, str):
+        raise TopologyError(f"topology name must be a string, got {name!r}")
+    return Topology(root, name=name)
 
 
 def dumps(topo: Topology, indent: int = 2) -> str:
@@ -102,8 +156,13 @@ def dumps(topo: Topology, indent: int = 2) -> str:
 
 
 def loads(text: str) -> Topology:
-    """Deserialize from a JSON string."""
-    return from_dict(json.loads(text))
+    """Deserialize from a JSON string (:class:`TopologyError` on any
+    malformed input, including invalid JSON)."""
+    try:
+        d = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"not valid JSON: {exc}") from None
+    return from_dict(d)
 
 
 def save(topo: Topology, path: Union[str, Path]) -> None:

@@ -1,0 +1,143 @@
+"""Property-based tests for ``repro.stats`` and ``repro.exec.derive_seed``.
+
+Hypothesis sweeps the input space for the invariants the statistical
+layer's correctness rests on:
+
+* the bootstrap CI always contains the sample mean;
+* aggregation is a pure function of the *multiset* of values — any
+  permutation gives bit-identical ``SeedStats`` (seed-order
+  invariance: a parallel sweep finishing replicates in any order can
+  never change the statistics);
+* N=1 aggregation reproduces the single value exactly;
+* ``derive_seed`` is injective in practice (distinct keys, distinct
+  seeds), stable across processes and ``PYTHONHASHSEED`` values, and
+  the numpy streams of adjacent replicate indices are uncorrelated at
+  a sanity level.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.runner import derive_seed
+from repro.stats import summarize
+
+#: Finite, well-conditioned measurement values (simulated seconds).
+values_st = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    min_size=1,
+    max_size=16,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=values_st)
+def test_bootstrap_ci_contains_sample_mean(values):
+    s = summarize(values, n_boot=200)
+    assert s.ci_lo <= s.mean <= s.ci_hi
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=values_st, seed=st.integers(min_value=0, max_value=2**31))
+def test_summarize_is_seed_order_invariant(values, seed):
+    rng = np.random.default_rng(seed)
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    assert summarize(shuffled, n_boot=200) == summarize(values, n_boot=200)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.floats(min_value=-1e9, max_value=1e9, allow_nan=False))
+def test_n1_aggregation_is_the_single_run_number(value):
+    s = summarize([value])
+    assert s.mean == value
+    assert s.median == value
+    assert s.stddev == 0.0
+    assert s.ci == (value, value)
+    assert s.n == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=values_st)
+def test_stddev_matches_numpy_sample_estimate(values):
+    s = summarize(values, n_boot=50)
+    expected = float(np.std(np.sort(np.asarray(values)), ddof=1)) if len(values) > 1 else 0.0
+    assert s.stddev == expected
+
+
+# ---------------------------------------------------------------------------
+# derive_seed
+# ---------------------------------------------------------------------------
+
+_key_part = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=12),
+)
+_keys = st.lists(_key_part, min_size=1, max_size=4)
+
+
+@settings(max_examples=80, deadline=None)
+@given(base=st.integers(min_value=0, max_value=2**62), k1=_keys, k2=_keys)
+def test_distinct_keys_distinct_seeds(base, k1, k2):
+    s1 = derive_seed(base, *k1)
+    s2 = derive_seed(base, *k2)
+    assert 0 <= s1 < 2**63
+    if tuple(map(repr, k1)) != tuple(map(repr, k2)):
+        # sha-256 collision over a 63-bit digest slice: finding one
+        # here would be publishable; treat it as a failure.
+        assert s1 != s2
+    else:
+        assert s1 == s2
+
+
+@settings(max_examples=40, deadline=None)
+@given(base=st.integers(min_value=0, max_value=2**62), key=_keys)
+def test_derive_seed_is_pure(base, key):
+    assert derive_seed(base, *key) == derive_seed(base, *key)
+
+
+@pytest.mark.parametrize("hashseed", ["0", "424242"])
+def test_derive_seed_stable_across_processes(hashseed):
+    """The same inputs give the same seed in a fresh interpreter with a
+    different ``PYTHONHASHSEED`` — the property the parallel sweep's
+    reproducibility hangs on."""
+    expected = derive_seed(7, "fig1", "openmp", 8, 3)
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.exec.runner import derive_seed;"
+         "print(derive_seed(7, 'fig1', 'openmp', 8, 3))"],
+        capture_output=True, text=True, env=env, check=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    assert int(out.stdout.strip()) == expected
+
+
+def test_adjacent_replicate_streams_uncorrelated():
+    """Streams seeded from adjacent replicate indices of the same point
+    must not be visibly correlated (sanity level, not a PRNG test)."""
+    for impl in ("orwl-bind", "openmp"):
+        for rep in (1, 2, 3):
+            a = np.random.default_rng(derive_seed(0, "fig1", impl, 8, rep))
+            b = np.random.default_rng(derive_seed(0, "fig1", impl, 8, rep + 1))
+            xs = a.standard_normal(2048)
+            ys = b.standard_normal(2048)
+            corr = abs(float(np.corrcoef(xs, ys)[0, 1]))
+            assert corr < 0.1, (impl, rep, corr)
+
+
+def test_adjacent_point_streams_uncorrelated():
+    a = np.random.default_rng(derive_seed(0, "fig1", "openmp", 8, 1))
+    b = np.random.default_rng(derive_seed(0, "fig1", "openmp", 16, 1))
+    corr = abs(float(np.corrcoef(a.standard_normal(2048),
+                                 b.standard_normal(2048))[0, 1]))
+    assert corr < 0.1

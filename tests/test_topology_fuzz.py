@@ -1,0 +1,234 @@
+"""Round-trip and fuzz tests for the topology import/export layer.
+
+Two guarantees are pinned here:
+
+* **Fixed point** — for every preset machine, serialize→parse→serialize
+  reproduces the serialized form exactly, in both formats (hwloc XML
+  and JSON).  The second pass works from the re-parsed topology, so a
+  byte-equal result means nothing was lost or invented.
+* **Clean error contract** — arbitrary corruption of a valid document
+  (truncated tags, scrambled attributes, bogus cpusets/indices,
+  invalid JSON) either still parses or raises
+  :class:`~repro.topology.tree.TopologyError`; no other exception
+  ever escapes the importers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import presets
+from repro.topology.hwloc_xml import parse_hwloc_xml, to_hwloc_xml
+from repro.topology.serialize import dumps, from_dict, loads, to_dict
+from repro.topology.tree import TopologyError
+
+PRESETS = {
+    "paper_smp": lambda: presets.paper_smp(sockets=4, cores_per_socket=4),
+    "dual_xeon": lambda: presets.dual_xeon(cores_per_socket=4),
+    "hyperthreaded_smp": lambda: presets.hyperthreaded_smp(sockets=2,
+                                                           cores_per_socket=4),
+    "small_numa": presets.small_numa,
+    "deep_hierarchy": presets.deep_hierarchy,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_hwloc_xml_roundtrip_fixed_point(name):
+    topo = PRESETS[name]()
+    xml1 = to_hwloc_xml(topo)
+    reparsed = parse_hwloc_xml(xml1, name=topo.name)
+    xml2 = to_hwloc_xml(reparsed)
+    assert xml2 == xml1
+    assert reparsed.nb_pus == topo.nb_pus
+    assert reparsed.depth == topo.depth
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_json_roundtrip_fixed_point(name):
+    topo = PRESETS[name]()
+    text1 = dumps(topo)
+    reparsed = loads(text1)
+    assert dumps(reparsed) == text1
+    assert reparsed.name == topo.name
+    assert reparsed.nb_pus == topo.nb_pus
+
+
+def test_cross_format_roundtrip_preserves_structure():
+    topo = presets.small_numa()
+    via_xml = parse_hwloc_xml(to_hwloc_xml(topo))
+    assert loads(dumps(via_xml)).nb_pus == topo.nb_pus
+
+
+# ---------------------------------------------------------------------------
+# Malformed XML: specific regressions
+# ---------------------------------------------------------------------------
+
+VALID_XML = to_hwloc_xml(presets.small_numa())
+
+MALFORMED_XML = {
+    "empty": "",
+    "not-xml": "this is not xml at all",
+    "truncated-tag": VALID_XML[: len(VALID_XML) // 2],
+    "unclosed-root": "<topology><object type='Machine'>",
+    "wrong-root": "<machines><object type='Machine'/></machines>",
+    "no-machine": '<topology><object type="Package"/></topology>',
+    "non-integer-os-index": (
+        '<topology><object type="Machine"><object type="PU" '
+        'os_index="twelve"/></object></topology>'
+    ),
+    "negative-os-index": (
+        '<topology><object type="Machine"><object type="PU" '
+        'os_index="-3"/></object></topology>'
+    ),
+    "huge-os-index": (
+        '<topology><object type="Machine"><object type="PU" '
+        'os_index="1000000000000000000"/></object></topology>'
+    ),
+    "bogus-cpuset-ish-index": (
+        '<topology><object type="Machine"><object type="PU" '
+        'os_index="0xzz"/></object></topology>'
+    ),
+    "negative-cache-size": (
+        '<topology><object type="Machine"><object type="Cache" depth="3" '
+        'cache_size="-64"/><object type="PU" os_index="0"/></object>'
+        "</topology>"
+    ),
+    "non-integer-memory": (
+        '<topology><object type="Machine"><object type="NUMANode" '
+        'os_index="0" local_memory="lots"><object type="PU" os_index="0"/>'
+        "</object></object></topology>"
+    ),
+}
+
+
+@pytest.mark.parametrize("case", sorted(MALFORMED_XML))
+def test_malformed_xml_raises_topology_error(case):
+    with pytest.raises(TopologyError):
+        parse_hwloc_xml(MALFORMED_XML[case])
+
+
+def test_malformed_xml_error_is_a_value_error():
+    # Callers that only know ValueError still catch the contract error.
+    with pytest.raises(ValueError):
+        parse_hwloc_xml(MALFORMED_XML["truncated-tag"])
+
+
+# ---------------------------------------------------------------------------
+# Malformed XML: hypothesis mutation fuzz
+# ---------------------------------------------------------------------------
+
+
+def _parse_or_contract_error(text: str) -> None:
+    try:
+        parse_hwloc_xml(text)
+    except TopologyError:
+        pass  # the one allowed failure mode
+
+
+@settings(max_examples=150, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=len(VALID_XML)))
+def test_fuzz_truncation(cut):
+    _parse_or_contract_error(VALID_XML[:cut])
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    pos=st.integers(min_value=0, max_value=len(VALID_XML)),
+    junk=st.text(
+        alphabet='<>/"= abcdefgh0123456789-', min_size=1, max_size=8
+    ),
+)
+def test_fuzz_insertion(pos, junk):
+    _parse_or_contract_error(VALID_XML[:pos] + junk + VALID_XML[pos:])
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    attr=st.sampled_from(
+        ["os_index", "local_memory", "cache_size", "cache_linesize", "type"]
+    ),
+    value=st.text(max_size=12).filter(lambda s: '"' not in s),
+)
+def test_fuzz_attribute_scramble(attr, value):
+    _parse_or_contract_error(
+        '<topology><object type="Machine">'
+        f'<object type="NUMANode" os_index="0" {attr}="{value}">'
+        '<object type="Cache" depth="3" cache_size="1024">'
+        '<object type="PU" os_index="0"/>'
+        "</object></object></object></topology>"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Malformed JSON documents
+# ---------------------------------------------------------------------------
+
+MALFORMED_JSON_TEXT = {
+    "empty": "",
+    "not-json": "{nope",
+    "wrong-type": "[1, 2, 3]",
+    "truncated": dumps(presets.small_numa())[:40],
+}
+
+
+@pytest.mark.parametrize("case", sorted(MALFORMED_JSON_TEXT))
+def test_malformed_json_text_raises_topology_error(case):
+    with pytest.raises(TopologyError):
+        loads(MALFORMED_JSON_TEXT[case])
+
+
+def _corrupt(doc, path, value):
+    """Return a deep copy of *doc* with the node at *path* replaced."""
+    out = json.loads(json.dumps(doc))
+    node = out
+    for key in path[:-1]:
+        node = node[key]
+    node[path[-1]] = value
+    return out
+
+
+BASE_DOC = to_dict(presets.small_numa())
+
+BAD_DOCS = {
+    "format": _corrupt(BASE_DOC, ["format"], "something-else"),
+    "version-str": _corrupt(BASE_DOC, ["version"], "one"),
+    "version-future": _corrupt(BASE_DOC, ["version"], 99),
+    "root-not-dict": _corrupt(BASE_DOC, ["root"], "machine"),
+    "bad-type": _corrupt(BASE_DOC, ["root", "type"], "FLUX_CAPACITOR"),
+    "os-index-str": _corrupt(
+        BASE_DOC, ["root", "children", 0, "os_index"], "zero"
+    ),
+    "os-index-negative": _corrupt(
+        BASE_DOC, ["root", "children", 0, "os_index"], -1
+    ),
+    "os-index-bool": _corrupt(
+        BASE_DOC, ["root", "children", 0, "os_index"], True
+    ),
+    "os-index-huge": _corrupt(
+        BASE_DOC, ["root", "children", 0, "os_index"], 10**18
+    ),
+    "children-not-list": _corrupt(BASE_DOC, ["root", "children"], "oops"),
+    "name-not-str": _corrupt(BASE_DOC, ["name"], 7),
+}
+
+
+@pytest.mark.parametrize("case", sorted(BAD_DOCS))
+def test_malformed_json_document_raises_topology_error(case):
+    with pytest.raises(TopologyError):
+        from_dict(BAD_DOCS[case])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pos=st.integers(min_value=0, max_value=len(dumps(presets.small_numa()))),
+    junk=st.text(alphabet='{}[]",:0123456789abc', min_size=1, max_size=6),
+)
+def test_fuzz_json_insertion(pos, junk):
+    text = dumps(presets.small_numa())
+    try:
+        loads(text[:pos] + junk + text[pos:])
+    except TopologyError:
+        pass
