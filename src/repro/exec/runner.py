@@ -80,11 +80,24 @@ def resolve_workers(n_workers: Optional[int]) -> int:
 
 @dataclass(frozen=True)
 class Task:
-    """One sweep point: an importable callable plus its kwargs."""
+    """One sweep point: an importable callable plus its kwargs.
+
+    *weight* is the task's expected relative cost (any positive unit —
+    the scaling sweep uses the machine's PU count).  The default
+    chunker packs tasks into chunks of bounded total weight, so one
+    4096-core point is dispatched alone instead of serialized behind
+    three others in the same chunk.  Weights affect only chunk
+    boundaries, never results or their order.
+    """
 
     fn: Callable[..., Any]
     kwargs: dict[str, Any] = field(default_factory=dict)
     label: str = ""
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.weight > 0:
+            raise ValidationError(f"task weight must be > 0, got {self.weight}")
 
     def run(self) -> Any:
         return self.fn(**self.kwargs)
@@ -190,11 +203,39 @@ class SweepRunner:
         for cb in self._callbacks:
             cb(ev)
 
-    def _chunk_indices(self, n: int) -> list[list[int]]:
-        size = self.chunk_size
-        if size is None:
+    def _chunk_indices(
+        self, n: int, weights: Optional[Sequence[float]] = None
+    ) -> list[list[int]]:
+        """Contiguous dispatch chunks over *n* tasks.
+
+        With uniform (or no) *weights* this is the historical fixed-size
+        split: ``ceil(n / (4 * n_workers))`` tasks per chunk.  With
+        weights, chunks are packed greedily up to the equivalent weight
+        cap, so heavyweight tasks land in chunks of their own and never
+        make lighter tasks queue behind them.
+        """
+        if self.chunk_size is not None:
+            size = self.chunk_size
+            return [list(range(lo, min(lo + size, n))) for lo in range(0, n, size)]
+        if weights is None or len(set(weights)) <= 1:
             size = max(1, -(-n // (4 * self.n_workers)))
-        return [list(range(lo, min(lo + size, n))) for lo in range(0, n, size)]
+            return [list(range(lo, min(lo + size, n))) for lo in range(0, n, size)]
+        total = float(sum(weights))
+        cap = total / (4 * self.n_workers)
+        chunks: list[list[int]] = []
+        current: list[int] = []
+        current_weight = 0.0
+        for i in range(n):
+            w = float(weights[i])
+            if current and current_weight + w > cap:
+                chunks.append(current)
+                current = []
+                current_weight = 0.0
+            current.append(i)
+            current_weight += w
+        if current:
+            chunks.append(current)
+        return chunks
 
     def _run_serial(
         self, tasks: Sequence[Task], results: list, t0: float, total: int
@@ -243,7 +284,7 @@ class SweepRunner:
         self, tasks: Sequence[Task], results: list, t0: float, total: int
     ) -> None:
         ctx = multiprocessing.get_context(self.mp_context)
-        pending = self._chunk_indices(total)
+        pending = self._chunk_indices(total, [t.weight for t in tasks])
         crashes = 0
         while pending:
             try:

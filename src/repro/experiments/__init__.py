@@ -7,6 +7,9 @@
 * :mod:`~repro.experiments.ablations` — the design-choice studies from
   DESIGN.md (mapping quality vs baselines, algorithm cost, control
   strategies, oversubscription, affinity-extraction fidelity).
+* :mod:`~repro.experiments.scaling` — the beyond-the-paper machine-size
+  sweep over generated mega-topologies, with paired significance and
+  saturation detection.
 """
 
 from repro.experiments.fig1 import (
@@ -17,7 +20,13 @@ from repro.experiments.fig1 import (
     run_point,
 )
 from repro.experiments.plotting import ascii_plot, plot_fig1
-from repro.experiments import ablations, cluster
+from repro.experiments.scaling import (
+    ScalingPoint,
+    ScalingResult,
+    run_scaling,
+    run_scaling_point,
+)
+from repro.experiments import ablations, cluster, scaling
 
 __all__ = [
     "ascii_plot",
@@ -25,8 +34,13 @@ __all__ = [
     "IMPLEMENTATIONS",
     "Fig1Point",
     "Fig1Result",
+    "ScalingPoint",
+    "ScalingResult",
     "run_fig1",
     "run_point",
+    "run_scaling",
+    "run_scaling_point",
     "ablations",
     "cluster",
+    "scaling",
 ]

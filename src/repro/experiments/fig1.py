@@ -196,8 +196,11 @@ class Fig1Result:
         if not self.seed_stats:
             return "(no seed statistics; run with seeds >= 1)"
         level = next(iter(self.seed_stats.values())).confidence
+        impl_w = max(
+            [len("implementation")] + [len(impl) for impl, _ in self.seed_stats]
+        )
         header = (
-            f"{'cores':>6} {'implementation':<14} {'n':>3} {'mean':>10} "
+            f"{'cores':>6} {'implementation':<{impl_w}} {'n':>3} {'mean':>10} "
             f"{'stddev':>10} {f'{level:.0%} CI':>24}"
         )
         lines = [header, "-" * len(header)]
@@ -207,7 +210,7 @@ class Fig1Result:
                 if s is None:
                     continue
                 lines.append(
-                    f"{c:>6} {impl:<14} {s.n:>3} {s.mean:>10.4f} "
+                    f"{c:>6} {impl:<{impl_w}} {s.n:>3} {s.mean:>10.4f} "
                     f"{s.stddev:>10.4f} "
                     f"{f'[{s.ci_lo:.4f}, {s.ci_hi:.4f}]':>24}"
                 )
@@ -270,17 +273,27 @@ class Fig1Result:
         efficiency relative to the smallest core count.
         """
         cores = self.core_counts()
-        header = f"{'cores':>6} | " + " | ".join(f"{impl:>12}" for impl in IMPLEMENTATIONS)
+        # Column width follows the longest implementation name; efficiency
+        # cells carry a 6-char "(xxx%)" suffix on top of the time.
+        width = max([12] + [len(impl) for impl in IMPLEMENTATIONS])
+        if show_efficiency:
+            width = max(width, 14)
+        header = f"{'cores':>6} | " + " | ".join(
+            f"{impl:>{width}}" for impl in IMPLEMENTATIONS
+        )
         lines = [header, "-" * len(header)]
         for c in cores:
             cells = []
             for impl in IMPLEMENTATIONS:
                 try:
-                    cell = f"{self.time_of(impl, c):12.4f}"
+                    cell = f"{self.time_of(impl, c):{width}.4f}"
                     if show_efficiency:
-                        cell = f"{self.time_of(impl, c):8.4f}({self.efficiency(impl, c):4.0%})"
+                        cell = (
+                            f"{self.time_of(impl, c):{width - 6}.4f}"
+                            f"({self.efficiency(impl, c):4.0%})"
+                        )
                 except KeyError:
-                    cell = f"{'-':>12}"
+                    cell = f"{'-':>{width}}"
                 cells.append(cell)
             lines.append(f"{c:>6} | " + " | ".join(cells))
         # Summary lines need all three implementations to be present.

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.kernels.lk23 import FLOPS_PER_POINT
 from repro.simulate.engine import SimEvent

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator
 
 #: Event kinds whose ``[ts, ts + dur]`` is an exclusive occupation of the
 #: thread (spans must not overlap within one thread).  All other kinds

@@ -9,7 +9,7 @@ behaviour (serialization, preemption, overlap).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 

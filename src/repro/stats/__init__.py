@@ -29,9 +29,16 @@ from __future__ import annotations
 
 from repro.stats.aggregate import DEFAULT_N_BOOT, SeedStats, summarize
 from repro.stats.significance import (
+    PairedVerdict,
     SpeedupVerdict,
+    cliffs_delta,
+    cliffs_delta_label,
     compare,
+    compare_paired,
     compare_stats,
+    correct_verdicts,
+    holm_bonferroni,
+    paired_permutation_pvalue,
     permutation_pvalue,
     speedup_distribution,
 )
@@ -45,13 +52,20 @@ from repro.stats.sweep import (
 
 __all__ = [
     "DEFAULT_N_BOOT",
+    "PairedVerdict",
     "ReplicatedPoint",
     "ReplicatedSweep",
     "ReplicateSpec",
     "SeedStats",
     "SpeedupVerdict",
+    "cliffs_delta",
+    "cliffs_delta_label",
     "compare",
+    "compare_paired",
     "compare_stats",
+    "correct_verdicts",
+    "holm_bonferroni",
+    "paired_permutation_pvalue",
     "permutation_pvalue",
     "replicate_seeds",
     "run_replicated",

@@ -43,7 +43,10 @@ class ReplicateSpec:
 
     ``kwargs`` must *not* contain the seed argument; the expansion adds
     it under *seed_arg* per replicate.  ``key`` feeds the seed
-    derivation and names the point in the grouped result.
+    derivation and names the point in the grouped result.  ``weight``
+    is the point's expected relative cost, forwarded to every replicate
+    :class:`~repro.exec.runner.Task` so the runner's weight-aware
+    chunker keeps giant points from starving the pool.
     """
 
     fn: Callable[..., Any]
@@ -51,6 +54,7 @@ class ReplicateSpec:
     key: tuple
     label: str = ""
     seed_arg: str = "seed"
+    weight: float = 1.0
 
 
 @dataclass
@@ -131,6 +135,7 @@ def run_replicated(
             spec.fn,
             {**spec.kwargs, spec.seed_arg: seed},
             label=f"{spec.label}#s{r}" if seeds > 1 else spec.label,
+            weight=spec.weight,
         )
         for spec, point_seeds in zip(specs, schedule)
         for r, seed in enumerate(point_seeds)

@@ -164,6 +164,80 @@ def bench_treematch(orders: tuple[int, ...]) -> dict[str, Any]:
     return {"orders": list(orders), "seconds": [s for _, s in curve]}
 
 
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = 0.25,
+) -> tuple[list[str], list[str]]:
+    """The CI perf-regression gate: current report vs committed baseline.
+
+    Only **deterministic** metrics are gated — the per-point *simulated*
+    fig1 time means (machine-independent, so a committed baseline is
+    portable across CI runners) and the serial/parallel bit-identity
+    verdict.  Wall-clock sections (engine throughput, sweep wall time,
+    treematch cost) vary with the host and are deliberately ignored.
+
+    A point fails when its current mean exceeds the baseline's CI upper
+    bound by more than *threshold* (default 25 %):
+    ``mean > ci_hi × (1 + threshold)``.  Returns ``(passed, failed)``
+    human-readable check lines; an empty ``failed`` means the gate is
+    green.
+    """
+    passed: list[str] = []
+    failed: list[str] = []
+
+    base_fig1 = baseline.get("fig1", {})
+    cur_fig1 = current.get("fig1", {})
+    base_stats = {
+        (row["implementation"], row["cores"]): row
+        for row in base_fig1.get("stats", [])
+    }
+    cur_stats = {
+        (row["implementation"], row["cores"]): row
+        for row in cur_fig1.get("stats", [])
+    }
+    if not base_stats:
+        failed.append(
+            "baseline has no fig1 stats section (regenerate it with "
+            "--quick --seeds N, N > 1)"
+        )
+    if not cur_stats:
+        failed.append(
+            "current run has no fig1 stats section (run --compare with "
+            "--seeds N, N > 1)"
+        )
+    for key, base_row in sorted(base_stats.items()):
+        impl, cores = key
+        name = f"{impl}@{cores}"
+        cur_row = cur_stats.get(key)
+        if cur_row is None:
+            failed.append(f"{name}: point missing from current run")
+            continue
+        limit = base_row["ci_hi"] * (1.0 + threshold)
+        line = (
+            f"{name}: mean {cur_row['mean']:.6f} vs baseline "
+            f"{base_row['mean']:.6f} (limit {limit:.6f})"
+        )
+        if cur_row["mean"] > limit:
+            failed.append(
+                f"{line} — regressed "
+                f"{cur_row['mean'] / base_row['mean']:.2f}x"
+            )
+        else:
+            passed.append(line)
+
+    if base_fig1.get("bit_identical") and not cur_fig1.get("bit_identical"):
+        failed.append(
+            "serial/parallel sweeps no longer bit-identical "
+            "(baseline was bit-identical)"
+        )
+    elif "bit_identical" in cur_fig1:
+        passed.append(
+            f"bit-identical serial/parallel: {cur_fig1['bit_identical']}"
+        )
+    return passed, failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.bench", description=__doc__.splitlines()[0]
@@ -177,6 +251,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="replicates per fig1 point; > 1 adds per-point "
                              "variance rows and significance verdicts to the "
                              "BENCH artifact")
+    parser.add_argument("--compare", metavar="BASELINE.json",
+                        help="perf-regression gate: compare this run's "
+                             "deterministic metrics against a committed "
+                             "baseline report; exit nonzero on regression")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="gate tolerance: fail when a mean exceeds the "
+                             "baseline CI upper bound by more than this "
+                             "fraction (default 0.25)")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -236,6 +318,23 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"[bench] wrote {out}")
+
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        passed, failed = compare_reports(
+            report, baseline, threshold=args.threshold
+        )
+        print(f"[bench] regression gate vs {args.compare} "
+              f"(threshold {args.threshold:.0%}):")
+        for line in passed:
+            print(f"  ok   {line}")
+        for line in failed:
+            print(f"  FAIL {line}")
+        if failed:
+            print(f"[bench] gate FAILED: {len(failed)} regression(s)")
+            return 1
+        print(f"[bench] gate passed: {len(passed)} check(s)")
     return 0
 
 

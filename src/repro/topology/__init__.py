@@ -9,6 +9,8 @@ architecture".  This package is that abstraction, built synthetically:
 * :mod:`~repro.topology.tree` — the finalized, queryable topology tree.
 * :mod:`~repro.topology.builder` — programmatic and spec-string builders.
 * :mod:`~repro.topology.presets` — the paper's 24×8 SMP and friends.
+* :mod:`~repro.topology.generate` — declarative machine specs and the
+  generated mega-topology presets of the scaling study.
 * :mod:`~repro.topology.distance` — hop/LCA/latency/bandwidth matrices.
 * :mod:`~repro.topology.query` — hwloc-flavoured convenience queries.
 * :mod:`~repro.topology.serialize` — JSON round-trip.
@@ -32,8 +34,21 @@ from repro.topology.distance import (
     hop_distance_matrix,
     lca_depth_matrix,
 )
+from repro.topology.generate import (
+    LevelDef,
+    MachineSpec,
+    SCALING_SPECS,
+    build as build_spec,
+    scaling_spec,
+    smp,
+    spec_dumps,
+    spec_from_dict,
+    spec_loads,
+    spec_to_dict,
+    two_tier,
+)
 from repro.topology.restrict import restrict, restrict_to_objects
-from repro.topology import presets, query, serialize
+from repro.topology import generate, presets, query, serialize
 
 __all__ = [
     "CpuSet",
@@ -54,8 +69,20 @@ __all__ = [
     "cluster_distance_model",
     "hop_distance_matrix",
     "lca_depth_matrix",
+    "LevelDef",
+    "MachineSpec",
+    "SCALING_SPECS",
+    "build_spec",
+    "scaling_spec",
+    "smp",
+    "spec_dumps",
+    "spec_from_dict",
+    "spec_loads",
+    "spec_to_dict",
+    "two_tier",
     "restrict",
     "restrict_to_objects",
+    "generate",
     "presets",
     "query",
     "serialize",

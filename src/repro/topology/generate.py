@@ -1,0 +1,425 @@
+"""Parametric topology generation: machines the paper never had.
+
+The paper's Figure 1 stops at a 24-socket × 8-core SMP.  The scaling
+study (:mod:`repro.experiments.scaling`) asks where the placement
+advantage saturates on far deeper machines, which needs topologies to
+be *generated*, not hand-written: a declarative :class:`MachineSpec`
+composes arbitrary hierarchies — sockets × dies × cores × PUs, with
+optional GROUP levels for cluster-of-clusters designs — and builds them
+through the existing :class:`~repro.topology.builder.TopologyBuilder`.
+
+Three layers:
+
+* **Specs** — :class:`MachineSpec` / :class:`LevelDef`, a pure-data
+  description with a JSON round-trip (:func:`spec_to_dict` /
+  :func:`spec_from_dict` / :func:`spec_dumps` / :func:`spec_loads`) so
+  machine shapes can be versioned, diffed and shipped to workers as
+  data.
+* **Composers** — :func:`smp` and :func:`two_tier` build the common
+  shapes from a handful of integers; :func:`build` materializes any
+  spec into a finalized :class:`~repro.topology.tree.Topology`.
+* **Presets** — :data:`SCALING_SPECS` registers the sizes the scaling
+  sweep uses (``paper``, ``smp48x8``, ``smp96x8``, ``smp256x8`` and the
+  512-socket two-tier ``smp512x8``); :data:`SCALING_PRESETS` exposes
+  them as zero-argument factories merged into
+  :data:`repro.topology.presets.PRESETS`, so the per-process
+  construction caches (:func:`repro.exec.cache.machine_inputs`) and the
+  CLI topology resolver pick them up by name.
+
+Construction stays memory-lean at this scale because the spec itself is
+a few dozen bytes (only :func:`build` materializes objects) and the
+distance tables on top are the vectorized compact-dtype sweep of
+:mod:`repro.topology.distance` — a 4096-PU machine finalizes, with its
+full distance model, in well under a second.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from repro.topology.builder import TopologyBuilder
+from repro.topology.objects import CacheAttributes, MemoryAttributes, ObjType
+from repro.topology.tree import Topology, TopologyError
+
+#: Spec-file format marker, mirroring :mod:`repro.topology.serialize`.
+SPEC_FORMAT = "repro-machine-spec"
+SPEC_VERSION = 1
+
+#: Spec level names accepted case-insensitively (superset of the
+#: builder's synthetic-string vocabulary).
+_TYPE_NAMES: dict[str, ObjType] = {
+    "group": ObjType.GROUP,
+    "numa": ObjType.NUMANODE,
+    "numanode": ObjType.NUMANODE,
+    "node": ObjType.NUMANODE,
+    "package": ObjType.PACKAGE,
+    "socket": ObjType.PACKAGE,
+    "die": ObjType.PACKAGE,
+    "l3": ObjType.L3,
+    "l2": ObjType.L2,
+    "l1": ObjType.L1,
+    "core": ObjType.CORE,
+    "pu": ObjType.PU,
+}
+
+
+def _coerce_type(value: Union[str, ObjType], where: str) -> ObjType:
+    if isinstance(value, ObjType):
+        return value
+    if isinstance(value, str):
+        key = value.strip().lower()
+        if key in _TYPE_NAMES:
+            return _TYPE_NAMES[key]
+        try:
+            return ObjType[value.strip().upper()]
+        except KeyError:
+            pass
+    raise TopologyError(f"unknown object type {value!r} in {where}")
+
+
+@dataclass(frozen=True)
+class LevelDef:
+    """One generated level: *count* children of *type* under each parent.
+
+    Optional *cache* / *memory* attributes override the builder defaults
+    (sizes in bytes, latencies in seconds), exactly like
+    :meth:`TopologyBuilder.add_level`.
+    """
+
+    type: ObjType
+    count: int
+    cache: Optional[CacheAttributes] = None
+    memory: Optional[MemoryAttributes] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "type", _coerce_type(self.type, "LevelDef"))
+        if not isinstance(self.count, int) or isinstance(self.count, bool):
+            raise TopologyError(f"level count must be an int, got {self.count!r}")
+        if self.count <= 0:
+            raise TopologyError(f"level count must be > 0, got {self.count}")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A declarative machine description: a name plus outermost-first levels.
+
+    The spec is pure data — building it is free — and validated on
+    construction: the innermost level must be ``PU``, and the nesting
+    must follow the hwloc containment order (``GROUP`` may repeat to
+    express cluster-of-clusters hierarchies).
+    """
+
+    name: str
+    levels: tuple[LevelDef, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise TopologyError(f"spec name must be a non-empty string, got {self.name!r}")
+        levels = tuple(self.levels)
+        object.__setattr__(self, "levels", levels)
+        if not levels:
+            raise TopologyError(f"spec {self.name!r} has no levels")
+        if levels[-1].type is not ObjType.PU:
+            raise TopologyError(
+                f"spec {self.name!r}: innermost level must be PU, "
+                f"got {levels[-1].type.name}"
+            )
+        prev: Optional[ObjType] = None
+        for lvl in levels:
+            if lvl.type is ObjType.MACHINE:
+                raise TopologyError("MACHINE is implicit; do not declare it as a level")
+            if prev is not None:
+                if prev is ObjType.PU:
+                    raise TopologyError("PU must be the innermost level")
+                if lvl.type <= prev and lvl.type is not ObjType.GROUP:
+                    raise TopologyError(
+                        f"spec {self.name!r}: level {lvl.type.name} cannot nest "
+                        f"inside {prev.name}"
+                    )
+            prev = lvl.type
+
+    # -- derived quantities (no tree needed) ------------------------------
+
+    @property
+    def n_pus(self) -> int:
+        """Total PU count: the product of all level counts."""
+        return math.prod(lvl.count for lvl in self.levels)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of declared levels (the implicit MACHINE root excluded)."""
+        return len(self.levels)
+
+    def count_of(self, type_: ObjType) -> int:
+        """Total object count of *type_* in the built tree (0 if absent)."""
+        total = 0
+        running = 1
+        for lvl in self.levels:
+            running *= lvl.count
+            if lvl.type is type_:
+                total += running
+        return total
+
+    def arities(self) -> list[int]:
+        """The per-level child counts, outermost first (matches
+        :meth:`Topology.arities` of the built tree, MACHINE included)."""
+        return [lvl.count for lvl in self.levels]
+
+    def describe(self) -> str:
+        """Compact human-readable shape, e.g. ``numa:48 package:1 ... pu:1``."""
+        return " ".join(f"{lvl.type.name.lower()}:{lvl.count}" for lvl in self.levels)
+
+
+def build(spec: MachineSpec) -> Topology:
+    """Materialize *spec* into a finalized :class:`Topology`."""
+    builder = TopologyBuilder(spec.name)
+    for lvl in spec.levels:
+        builder.add_level(lvl.type, lvl.count, cache=lvl.cache, memory=lvl.memory)
+    return builder.build()
+
+
+# -- JSON round-trip -------------------------------------------------------
+
+
+def spec_to_dict(spec: MachineSpec) -> dict[str, Any]:
+    """Serialize a spec to a JSON-safe dict (versioned)."""
+    levels = []
+    for lvl in spec.levels:
+        d: dict[str, Any] = {"type": lvl.type.name, "count": lvl.count}
+        if lvl.cache is not None:
+            d["cache"] = {
+                "size": lvl.cache.size,
+                "line_size": lvl.cache.line_size,
+                "associativity": lvl.cache.associativity,
+                "latency": lvl.cache.latency,
+            }
+        if lvl.memory is not None:
+            d["memory"] = {
+                "local_bytes": lvl.memory.local_bytes,
+                "latency": lvl.memory.latency,
+                "bandwidth": lvl.memory.bandwidth,
+            }
+        levels.append(d)
+    return {
+        "format": SPEC_FORMAT,
+        "version": SPEC_VERSION,
+        "name": spec.name,
+        "levels": levels,
+    }
+
+
+def spec_from_dict(d: Mapping[str, Any]) -> MachineSpec:
+    """Rebuild a :class:`MachineSpec` from :func:`spec_to_dict` output.
+
+    Error contract: any malformed document raises :class:`TopologyError`.
+    """
+    if not isinstance(d, Mapping):
+        raise TopologyError(f"spec document must be a dict, got {type(d).__name__}")
+    if d.get("format") != SPEC_FORMAT:
+        raise TopologyError(f"not a {SPEC_FORMAT} document: format={d.get('format')!r}")
+    version = d.get("version", 0)
+    if not isinstance(version, int) or version > SPEC_VERSION:
+        raise TopologyError(f"unsupported spec version {version!r}")
+    raw_levels = d.get("levels")
+    if not isinstance(raw_levels, (list, tuple)):
+        raise TopologyError("spec document needs a list of levels")
+    levels = []
+    for k, raw in enumerate(raw_levels):
+        if not isinstance(raw, Mapping):
+            raise TopologyError(f"level {k} must be a dict, got {type(raw).__name__}")
+        type_ = _coerce_type(raw.get("type"), f"level {k}")
+        count = raw.get("count")
+        if isinstance(count, bool) or not isinstance(count, int):
+            raise TopologyError(f"level {k} count must be an int, got {count!r}")
+        cache = memory = None
+        try:
+            if "cache" in raw:
+                c = raw["cache"]
+                if not isinstance(c, Mapping) or "size" not in c:
+                    raise TopologyError(f"level {k} cache must be a dict with a size")
+                cache = CacheAttributes(
+                    size=c["size"],
+                    line_size=c.get("line_size", 64),
+                    associativity=c.get("associativity", 8),
+                    latency=c.get("latency", 0.0),
+                )
+            if "memory" in raw:
+                m = raw["memory"]
+                if not isinstance(m, Mapping) or "local_bytes" not in m:
+                    raise TopologyError(
+                        f"level {k} memory must be a dict with local_bytes"
+                    )
+                memory = MemoryAttributes(
+                    local_bytes=m["local_bytes"],
+                    latency=m.get("latency", 0.0),
+                    bandwidth=m.get("bandwidth", 0.0),
+                )
+        except TopologyError:
+            raise
+        except (ValueError, TypeError) as exc:
+            raise TopologyError(f"invalid level {k} attributes: {exc}") from None
+        levels.append(LevelDef(type_, count, cache=cache, memory=memory))
+    name = d.get("name", "")
+    if not isinstance(name, str):
+        raise TopologyError(f"spec name must be a string, got {name!r}")
+    return MachineSpec(name=name, levels=tuple(levels))
+
+
+def spec_dumps(spec: MachineSpec, indent: int = 2) -> str:
+    """Serialize a spec to a JSON string."""
+    return json.dumps(spec_to_dict(spec), indent=indent)
+
+
+def spec_loads(text: str) -> MachineSpec:
+    """Deserialize a spec from JSON (:class:`TopologyError` on any
+    malformed input, including invalid JSON)."""
+    try:
+        d = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TopologyError(f"not valid JSON: {exc}") from None
+    return spec_from_dict(d)
+
+
+# -- composers -------------------------------------------------------------
+
+
+def smp(
+    sockets: int,
+    cores_per_socket: int = 8,
+    pus_per_core: int = 1,
+    name: str = "",
+) -> MachineSpec:
+    """A flat SMP spec: NUMA-per-socket, shared L3, private cores.
+
+    ``smp(24, 8)`` reproduces the paper's evaluation machine exactly
+    (same shape, same default attributes) — pinned by
+    ``tests/test_generate.py`` against the handwritten
+    :func:`repro.topology.presets.paper_smp`.
+    """
+    return MachineSpec(
+        name=name or f"smp-{sockets}x{cores_per_socket}"
+        + (f"x{pus_per_core}" if pus_per_core != 1 else ""),
+        levels=(
+            LevelDef(
+                ObjType.NUMANODE,
+                sockets,
+                memory=MemoryAttributes(
+                    local_bytes=32 << 30, latency=90e-9, bandwidth=40e9
+                ),
+            ),
+            LevelDef(ObjType.PACKAGE, 1),
+            LevelDef(ObjType.L3, 1, cache=CacheAttributes(size=20 << 20, latency=12e-9)),
+            LevelDef(ObjType.CORE, cores_per_socket),
+            LevelDef(ObjType.PU, pus_per_core),
+        ),
+    )
+
+
+def two_tier(
+    groups: int,
+    sockets_per_group: int,
+    cores_per_socket: int = 8,
+    pus_per_core: int = 1,
+    name: str = "",
+) -> MachineSpec:
+    """A cluster-of-clusters spec: a GROUP tier over SMP islands.
+
+    Models the blade/drawer structure of 500+-socket machines (SGI UV,
+    Bull BCS): sockets inside a group share a fast interconnect, groups
+    are coupled by a slower top-level fabric (the GROUP entry of the
+    distance model's cost table).
+    """
+    total = groups * sockets_per_group
+    return MachineSpec(
+        name=name or f"smp-{total}x{cores_per_socket}-2tier",
+        levels=(
+            LevelDef(ObjType.GROUP, groups),
+            LevelDef(
+                ObjType.NUMANODE,
+                sockets_per_group,
+                memory=MemoryAttributes(
+                    local_bytes=32 << 30, latency=90e-9, bandwidth=40e9
+                ),
+            ),
+            LevelDef(ObjType.PACKAGE, 1),
+            LevelDef(ObjType.L3, 1, cache=CacheAttributes(size=20 << 20, latency=12e-9)),
+            LevelDef(ObjType.CORE, cores_per_socket),
+            LevelDef(ObjType.PU, pus_per_core),
+        ),
+    )
+
+
+def from_spec_string(spec: str, name: str = "") -> MachineSpec:
+    """Parse an hwloc-style synthetic string into a :class:`MachineSpec`.
+
+    Same grammar as :func:`repro.topology.builder.from_spec`
+    (``"numa:24 package:1 l3:1 core:8 pu:1"``; a bare integer is an
+    anonymous GROUP level), but producing the declarative spec instead
+    of a built tree.
+    """
+    levels: list[LevelDef] = []
+    for term in spec.split():
+        if ":" in term:
+            tname, _, cnt_s = term.partition(":")
+            type_ = _coerce_type(tname, f"spec {spec!r}")
+        else:
+            cnt_s = term
+            type_ = ObjType.GROUP
+        try:
+            count = int(cnt_s)
+        except ValueError:
+            raise TopologyError(f"bad count in term {term!r}") from None
+        levels.append(LevelDef(type_, count))
+    if not levels:
+        raise TopologyError("empty synthetic spec")
+    return MachineSpec(name=name or spec, levels=tuple(levels))
+
+
+# -- registered scaling presets -------------------------------------------
+
+#: The scaling study's machine sizes, smallest to largest.  ``paper``
+#: is the generated twin of the handwritten 24×8 preset (192 PUs);
+#: ``smp512x8`` is the 512-socket two-tier machine (4096 PUs, 8 drawers
+#: of 64 sockets).
+SCALING_SPECS: dict[str, MachineSpec] = {
+    "paper": smp(24, 8, name="paper-smp-24x8"),
+    "smp48x8": smp(48, 8, name="smp48x8"),
+    "smp96x8": smp(96, 8, name="smp96x8"),
+    "smp256x8": smp(256, 8, name="smp256x8"),
+    "smp512x8": two_tier(8, 64, 8, name="smp512x8"),
+}
+
+
+def _make_factory(spec: MachineSpec):
+    def factory() -> Topology:
+        return build(spec)
+
+    factory.__name__ = f"build_{spec.name.replace('-', '_')}"
+    factory.__doc__ = f"Generated scaling preset: {spec.describe()} ({spec.n_pus} PUs)."
+    return factory
+
+
+#: Name → zero-argument factory, merged into
+#: :data:`repro.topology.presets.PRESETS` so the construction caches and
+#: CLI resolvers can build scaling machines by name.
+SCALING_PRESETS = {name: _make_factory(spec) for name, spec in SCALING_SPECS.items()}
+
+
+def scaling_spec(name: str) -> MachineSpec:
+    """Look up a registered scaling spec by name."""
+    try:
+        return SCALING_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scaling preset {name!r}; available: "
+            f"{', '.join(sorted(SCALING_SPECS))}"
+        ) from None
+
+
+def scaling_sizes(names: Iterable[str]) -> list[tuple[str, int]]:
+    """``(name, n_pus)`` for *names*, sorted by machine size ascending."""
+    sized = [(n, scaling_spec(n).n_pus) for n in names]
+    return sorted(sized, key=lambda pair: (pair[1], pair[0]))

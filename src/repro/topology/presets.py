@@ -124,7 +124,9 @@ def cluster(
     )
 
 
-#: Name → factory, used by the CLI-ish example scripts.
+#: Name → factory, used by the CLI-ish example scripts.  The generated
+#: scaling presets (``paper``, ``smp48x8``, ..., ``smp512x8``) are merged
+#: in below so the construction caches and CLI resolvers see one registry.
 PRESETS = {
     "paper-smp": paper_smp,
     "dual-xeon": dual_xeon,
@@ -133,6 +135,12 @@ PRESETS = {
     "deep": deep_hierarchy,
     "cluster": cluster,
 }
+
+# Imported at the bottom to keep the dependency one-way: generate.py
+# only needs the builder, never this module.
+from repro.topology.generate import SCALING_PRESETS as _SCALING_PRESETS  # noqa: E402
+
+PRESETS.update(_SCALING_PRESETS)
 
 
 def by_name(name: str) -> Topology:
