@@ -1,0 +1,94 @@
+"""Perf analysis must stay post-mortem-cheap: 10^5 events under 2 s.
+
+``repro.perf.analyze`` is meant to run after *every* traced experiment
+(the sweeps attach a report per point with ``--perf-report``), so its
+cost has to stay a small multiple of the simulation it explains.  The
+gate: a synthetic 100k-event stream — realistic span mix, hundreds of
+threads, cross-thread wait/release structure that exercises the
+critical-path DP and the backward walk — analyzed end to end (critical
+path, attribution, counter groups, traffic matrix) in under 2 seconds.
+
+The stream is generated deterministically (fixed seed), so the gate
+measures the analyzer, not the generator's mood.
+"""
+
+import random
+import time
+
+from repro.observe.tracer import TraceEvent
+from repro.perf import analyze
+
+N_EVENTS = 100_000
+N_THREADS = 256
+N_NODES = 16
+TIME_BUDGET_S = 2.0
+
+
+def synth_trace(n_events: int = N_EVENTS, seed: int = 20230213) -> list:
+    """A deterministic synthetic stream shaped like a real LK23 run.
+
+    Per thread, spans tile the timeline (compute / transfer / wait /
+    runq in a weighted rotation) exactly as the tracer guarantees;
+    migrations fire occasionally as instants.  Emission order is by
+    span start, which preserves the causal-order property the analyses
+    rely on.
+    """
+    rng = random.Random(seed)
+    clock = [0.0] * N_THREADS
+    staged = []
+    kinds = ("compute", "transfer", "wait", "runq")
+    weights = (0.45, 0.25, 0.2, 0.1)
+    levels = ("CORE", "L3", "NUMANODE", "MACHINE")
+    made = 0
+    while made < n_events:
+        tid = rng.randrange(N_THREADS)
+        kind = rng.choices(kinds, weights)[0]
+        dur = rng.uniform(1e-6, 2e-4)
+        ts = clock[tid]
+        clock[tid] = ts + dur
+        node = tid * N_NODES // N_THREADS
+        extra = {}
+        if kind == "transfer":
+            level = rng.choice(levels)
+            src = rng.randrange(N_NODES) if level == "MACHINE" else node
+            extra = dict(
+                level=level, nbytes=rng.uniform(1e3, 1e6),
+                detail=f"from-node:{src}",
+            )
+        staged.append((ts, tid, kind, dur, node, extra))
+        made += 1
+        if rng.random() < 0.01 and made < n_events:
+            staged.append((clock[tid], tid, "migration", 1e-5, node, {}))
+            made += 1
+    staged.sort(key=lambda s: (s[0], s[1]))
+    return [
+        TraceEvent(
+            seq, kind, ts, dur, tid=tid, thread=f"T{tid}",
+            pu=tid, node=node, **extra,
+        )
+        for seq, (ts, tid, kind, dur, node, extra) in enumerate(staged)
+    ]
+
+
+def test_analyze_100k_events_under_budget(benchmark):
+    events = synth_trace()
+    assert len(events) == N_EVENTS
+    analyze(events[:1000])  # warm imports and numpy before timing
+
+    t0 = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: analyze(events, n_pus=N_THREADS, n_nodes=N_NODES),
+        rounds=1, iterations=1,
+    )
+    elapsed = time.perf_counter() - t0
+
+    benchmark.extra_info["n_events"] = len(events)
+    benchmark.extra_info["elapsed_s"] = elapsed
+    assert elapsed < TIME_BUDGET_S, (
+        f"analyzing {len(events)} events took {elapsed:.2f}s "
+        f"(budget {TIME_BUDGET_S}s)"
+    )
+    # The report must also be *right*: exact partition and valid bounds.
+    assert report.critical_path.bound_ok()
+    total = report.attribution.total
+    assert abs(total - report.makespan) <= 1e-9 * max(1.0, report.makespan)

@@ -53,6 +53,11 @@ class Fig1Point:
     #: the point was run with ``fingerprint=True``); lets serial and
     #: parallel sweeps be compared bit-exactly, see tests/test_exec.py.
     fingerprint: str = ""
+    #: JSON dict of the point's :class:`repro.perf.PerfReport` (``None``
+    #: unless run with ``perf_report=True``).  Stored as a plain dict so
+    #: the point stays picklable across sweep workers; rebuild the
+    #: report object with :meth:`repro.perf.PerfReport.from_json_dict`.
+    perf: Optional[dict] = None
 
 
 @dataclass
@@ -326,12 +331,15 @@ def run_point(
     cores_per_socket: int = 8,
     seed: int = 0,
     fingerprint: bool = False,
+    perf_report: bool = False,
 ) -> Fig1Point:
     """Run one implementation at one core count; returns the point.
 
     With *fingerprint*, the run is traced and the point carries its
     :func:`repro.observe.determinism.run_fingerprint` — the cheap way to
     assert two sweeps (e.g. serial vs parallel) did bit-identical work.
+    With *perf_report*, the run is traced and the point carries the
+    JSON form of its :func:`repro.perf.analyze` report in ``perf``.
     """
     if implementation not in IMPLEMENTATIONS:
         raise ValidationError(
@@ -349,7 +357,7 @@ def run_point(
         "paper-smp", n_cores // cores_per_socket, cores_per_socket
     )
     tracer = None
-    if fingerprint:
+    if fingerprint or perf_report:
         from repro.observe.tracer import Tracer
 
         tracer = Tracer()
@@ -380,6 +388,19 @@ def run_point(
 
         fp = run_fingerprint(machine)
 
+    perf = None
+    if perf_report:
+        from repro.perf import analyze
+        from repro.topology.objects import ObjType
+
+        perf = analyze(
+            tracer.events,
+            label=f"{implementation}@{n_cores}",
+            measured_time=time,
+            n_pus=topo.nb_pus,
+            n_nodes=topo.nbobjs_by_type(ObjType.NUMANODE),
+        ).to_json_dict()
+
     return Fig1Point(
         implementation=implementation,
         n_cores=n_cores,
@@ -388,6 +409,7 @@ def run_point(
         migrations=metrics.migrations,
         remote_bytes=metrics.remote_bytes,
         fingerprint=fp,
+        perf=perf,
     )
 
 
@@ -405,6 +427,7 @@ def run_fig1(
     seed: int = 0,
     n_workers: int = 1,
     fingerprint: bool = False,
+    perf_report: bool = False,
     runner: Optional[SweepRunner] = None,
     seeds: int = 1,
     confidence: float = 0.95,
@@ -442,6 +465,7 @@ def run_fig1(
                 iterations=iterations,
                 n=n,
                 fingerprint=fingerprint,
+                perf_report=perf_report,
             ),
             key=(impl, c),
             label=f"{impl}@{c}",

@@ -63,6 +63,10 @@ class ScalingPoint:
     local_fraction: float
     migrations: int
     remote_bytes: float
+    #: JSON dict of the point's :class:`repro.perf.PerfReport` (``None``
+    #: unless run with ``perf_report=True``); a plain dict so the point
+    #: pickles across sweep workers.
+    perf: Optional[dict] = None
 
 
 def matrix_order(n_cores: int, cells_per_core: int = CELLS_PER_CORE) -> int:
@@ -84,6 +88,7 @@ def run_scaling_point(
     iterations: int = 3,
     cells_per_core: int = CELLS_PER_CORE,
     seed: int = 0,
+    perf_report: bool = False,
 ) -> ScalingPoint:
     """Run one implementation on one generated machine; returns the point.
 
@@ -91,6 +96,8 @@ def run_scaling_point(
     generated presets are registered in
     :data:`repro.topology.presets.PRESETS`), one ORWL task / OpenMP
     worker per core, matrix order fixed per-core by *cells_per_core*.
+    With *perf_report*, the run is traced and the point carries the
+    JSON form of its :func:`repro.perf.analyze` report in ``perf``.
     """
     if implementation not in IMPLEMENTATIONS:
         raise ValidationError(
@@ -99,7 +106,12 @@ def run_scaling_point(
     topo, dm = machine_inputs(preset)
     n_cores = topo.nb_pus
     n = matrix_order(n_cores, cells_per_core)
-    machine = Machine(topo, distance_model=dm, seed=seed)
+    tracer = None
+    if perf_report:
+        from repro.observe.tracer import Tracer
+
+        tracer = Tracer()
+    machine = Machine(topo, distance_model=dm, seed=seed, tracer=tracer)
 
     if implementation == "openmp":
         result = run_openmp_lk23(
@@ -120,6 +132,19 @@ def run_scaling_point(
         metrics = run.metrics
         time = run.time
 
+    perf = None
+    if perf_report:
+        from repro.perf import analyze
+        from repro.topology.objects import ObjType
+
+        perf = analyze(
+            tracer.events,
+            label=f"{implementation}@{preset}",
+            measured_time=time,
+            n_pus=topo.nb_pus,
+            n_nodes=topo.nbobjs_by_type(ObjType.NUMANODE),
+        ).to_json_dict()
+
     return ScalingPoint(
         preset=preset,
         implementation=implementation,
@@ -129,6 +154,7 @@ def run_scaling_point(
         local_fraction=metrics.local_fraction,
         migrations=metrics.migrations,
         remote_bytes=metrics.remote_bytes,
+        perf=perf,
     )
 
 
@@ -361,6 +387,10 @@ class ScalingResult:
                     "local_fraction": p.local_fraction,
                     "migrations": p.migrations,
                     "remote_bytes": p.remote_bytes,
+                    # Only perf-report runs carry the analysis; keeping
+                    # the key out otherwise leaves historical dumps
+                    # byte-identical.
+                    **({"perf": p.perf} if p.perf is not None else {}),
                 }
                 for p in self.points
             ],
@@ -415,6 +445,7 @@ def run_scaling(
     alpha: float = 0.05,
     n_workers: int = 1,
     runner: Optional[SweepRunner] = None,
+    perf_report: bool = False,
 ) -> ScalingResult:
     """The full machine-size sweep.
 
@@ -450,6 +481,7 @@ def run_scaling(
                 implementation=impl,
                 iterations=iterations,
                 cells_per_core=cells_per_core,
+                perf_report=perf_report,
             ),
             key=(preset, impl),
             label=f"{impl}@{preset}",

@@ -50,6 +50,7 @@ from repro.observe.invariants import (
 from repro.observe.tracer import (
     KNOWN_KINDS,
     SPAN_KINDS,
+    EventFilter,
     Probe,
     TraceEvent,
     Tracer,
@@ -64,6 +65,7 @@ __all__ = [
     "KNOWN_KINDS",
     "SPAN_KINDS",
     "Capture",
+    "EventFilter",
     "InvariantChecker",
     "InvariantError",
     "InvariantReport",

@@ -23,6 +23,14 @@ event stream — and reports any disagreement as a structured
   each thread's spans are ordered and non-overlapping.
 * **non-negative-duration** — no event has a negative duration or
   timestamp.
+* **critical-path-bound** — the longest weighted dependency chain
+  (:func:`repro.perf.extract_critical_path`) respects
+  ``critical_path <= makespan <= serial_time``.
+* **numa-traffic-reconciliation** — the node×node traffic matrix
+  (:func:`repro.perf.traffic_matrix`) reconciles with
+  ``bytes_by_level``: diagonal = node-local levels, off-diagonal =
+  GROUP/MACHINE (= ``MachineMetrics.remote_bytes``), every transfer
+  attributed to a valid node pair.
 
 Use :meth:`InvariantChecker.check` after a run; raise on violation with
 :meth:`InvariantReport.raise_if_violations`.
@@ -52,6 +60,8 @@ ALL_INVARIANTS = (
     "transfer-time-conservation",
     "transfer-count",
     "migration-accounting",
+    "critical-path-bound",
+    "numa-traffic-reconciliation",
 )
 
 
@@ -168,6 +178,7 @@ class InvariantChecker:
         self._check_shapes(events, tracer, out)
         self._check_thread_accounting(machine, out)
         self._check_aggregates(machine, events, out)
+        self._check_perf(machine, events, out)
 
         # Keep m referenced for clarity even when every sum is zero.
         del m
@@ -350,6 +361,73 @@ class InvariantChecker:
             m.migration_penalty_time,
             migration_penalty,
         )
+
+
+    def _check_perf(
+        self, machine: "Machine", events: tuple[TraceEvent, ...], out: list[Violation]
+    ) -> None:
+        # Imported lazily: repro.perf consumes this package, so a
+        # module-level import would be a cycle.
+        from repro.perf import LOCAL_LEVELS, extract_critical_path, traffic_matrix
+
+        cp = extract_critical_path(events)
+        if not cp.bound_ok():
+            out.append(
+                Violation(
+                    "critical-path-bound",
+                    f"critical_path={cp.length!r} <= makespan={cp.makespan!r} "
+                    f"<= serial_time={cp.serial_time!r} does not hold",
+                    magnitude=max(
+                        cp.length - cp.makespan, cp.makespan - cp.serial_time
+                    ),
+                )
+            )
+
+        m = machine.metrics
+        tm = traffic_matrix(events)
+        local = sum(
+            float(v)
+            for lv, v in m.bytes_by_level.items()
+            if lv.name in LOCAL_LEVELS
+        )
+        self._mismatch(
+            out,
+            "numa-traffic-reconciliation",
+            "node-local bytes (bytes_by_level vs matrix diagonal)",
+            local,
+            tm.local_bytes,
+        )
+        self._mismatch(
+            out,
+            "numa-traffic-reconciliation",
+            "remote bytes (bytes_by_level vs matrix off-diagonal)",
+            float(m.remote_bytes),
+            tm.remote_bytes,
+        )
+        total = float(sum(m.bytes_by_level.values()))
+        self._mismatch(
+            out,
+            "numa-traffic-reconciliation",
+            "total bytes (bytes_by_level vs matrix row sums)",
+            total,
+            float(sum(tm.row_sums())),
+        )
+        self._mismatch(
+            out,
+            "numa-traffic-reconciliation",
+            "total bytes (bytes_by_level vs matrix column sums)",
+            total,
+            float(sum(tm.col_sums())),
+        )
+        if tm.unattributed_bytes > 0.0:
+            out.append(
+                Violation(
+                    "numa-traffic-reconciliation",
+                    f"{tm.unattributed_bytes!r} transfer bytes carry no "
+                    "valid producer/consumer node pair",
+                    magnitude=tm.unattributed_bytes,
+                )
+            )
 
 
 def check_run(machine: "Machine", raise_on_violation: bool = True) -> InvariantReport:

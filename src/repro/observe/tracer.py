@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from fnmatch import fnmatchcase
+from typing import Callable, Iterable, Iterator, Optional
 
 #: Event kinds whose ``[ts, ts + dur]`` is an exclusive occupation of the
 #: thread (spans must not overlap within one thread).  All other kinds
@@ -177,6 +178,96 @@ class Tracer:
         from repro.observe.determinism import stream_hash
 
         return stream_hash(self._events)
+
+
+@dataclass(frozen=True)
+class EventFilter:
+    """Predicate over :class:`TraceEvent` s, parsed from a spec string.
+
+    The spec is a comma-separated list of ``key=value`` clauses; an
+    event must satisfy every clause (AND), and a clause with several
+    ``|``-separated values matches any of them (OR)::
+
+        kind=transfer|wait,level=MACHINE     remote transfers and waits
+        thread=*ctl*,min-dur=1e-6            slow control-thread spans
+        tid=0|1,node=1                       two threads, one NUMA node
+
+    Keys: ``kind``, ``thread`` (glob per :mod:`fnmatch`), ``tid``,
+    ``pu``, ``node`` (integers), ``level``, ``min-dur`` (a single
+    float, in seconds).  Unknown keys raise ``ValueError`` — a typoed
+    clause silently matching everything would be worse.
+    """
+
+    kinds: Optional[frozenset[str]] = None
+    thread_glob: str = ""
+    tids: Optional[frozenset[int]] = None
+    pus: Optional[frozenset[int]] = None
+    nodes: Optional[frozenset[int]] = None
+    levels: Optional[frozenset[str]] = None
+    min_dur: float = 0.0
+
+    @classmethod
+    def parse(cls, spec: str) -> "EventFilter":
+        """Build a filter from a spec string (empty spec matches all)."""
+        kwargs: dict = {}
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            key, sep, value = clause.partition("=")
+            key = key.strip()
+            if not sep or not value.strip():
+                raise ValueError(
+                    f"bad filter clause {clause!r}: expected key=value"
+                )
+            alts = [v.strip() for v in value.split("|") if v.strip()]
+            if key == "kind":
+                kwargs["kinds"] = frozenset(alts)
+            elif key == "thread":
+                kwargs["thread_glob"] = value.strip()
+            elif key in ("tid", "pu", "node"):
+                try:
+                    kwargs[key + "s"] = frozenset(int(v) for v in alts)
+                except ValueError:
+                    raise ValueError(
+                        f"filter clause {clause!r}: {key} takes integers"
+                    ) from None
+            elif key == "level":
+                kwargs["levels"] = frozenset(v.upper() for v in alts)
+            elif key == "min-dur":
+                try:
+                    kwargs["min_dur"] = float(value.strip())
+                except ValueError:
+                    raise ValueError(
+                        f"filter clause {clause!r}: min-dur takes a float"
+                    ) from None
+            else:
+                raise ValueError(
+                    f"unknown filter key {key!r}; one of "
+                    "kind, thread, tid, pu, node, level, min-dur"
+                )
+        return cls(**kwargs)
+
+    def __call__(self, ev: TraceEvent) -> bool:
+        if self.kinds is not None and ev.kind not in self.kinds:
+            return False
+        if self.thread_glob and not fnmatchcase(ev.thread, self.thread_glob):
+            return False
+        if self.tids is not None and ev.tid not in self.tids:
+            return False
+        if self.pus is not None and ev.pu not in self.pus:
+            return False
+        if self.nodes is not None and ev.node not in self.nodes:
+            return False
+        if self.levels is not None and ev.level not in self.levels:
+            return False
+        if self.min_dur > 0.0 and ev.dur < self.min_dur:
+            return False
+        return True
+
+    def apply(self, events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+        """Lazily yield the matching events, order preserved."""
+        return (ev for ev in events if self(ev))
 
 
 @dataclass

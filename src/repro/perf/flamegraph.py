@@ -1,0 +1,68 @@
+"""Folded-stack export for flamegraph tooling.
+
+The span stream flattens into Brendan Gregg's folded-stack format —
+one ``frame;frame;frame value`` line per unique stack — which
+``flamegraph.pl`` and speedscope (https://speedscope.app, "Import",
+choose the ``.folded`` file) render directly.
+
+The simulator has no call stacks, so the synthetic stack is the
+dimension hierarchy that matters for placement work::
+
+    <thread>;<kind>              e.g.  T3/lk23(1,2);compute
+    <thread>;transfer;<level>    e.g.  T3/lk23(1,2);transfer;MACHINE
+
+Values are microseconds (integers please the tooling; the simulated
+runs are far above microsecond granularity).  Lines are sorted, so the
+export is deterministic and diff-able across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+from repro.observe.tracer import TraceEvent
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+def folded_stacks(
+    events: Iterable[TraceEvent], root: str = ""
+) -> dict[str, float]:
+    """Aggregate span durations into ``{stack: microseconds}``.
+
+    *root* prepends a frame to every stack — pass the implementation
+    name when exporting several runs into one flamegraph.
+    """
+    out: dict[str, float] = {}
+    for ev in events:
+        if not ev.is_span():
+            continue
+        frames = []
+        if root:
+            frames.append(root)
+        frames.append(ev.thread or f"tid{ev.tid}")
+        frames.append(ev.kind)
+        if ev.level:
+            frames.append(ev.level)
+        stack = ";".join(f.replace(";", ",") for f in frames)
+        out[stack] = out.get(stack, 0.0) + ev.dur * 1e6
+    return out
+
+
+def write_folded(
+    events: Iterable[TraceEvent], dst: PathOrFile, root: str = ""
+) -> int:
+    """Write the folded-stack file; returns the number of stack lines."""
+    stacks = folded_stacks(events, root=root)
+    lines = [
+        f"{stack} {int(round(us))}"
+        for stack, us in sorted(stacks.items())
+        if round(us) >= 1
+    ]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(dst, (str, Path)):
+        Path(dst).write_text(text, encoding="utf-8")
+    else:
+        dst.write(text)
+    return len(lines)

@@ -1,0 +1,167 @@
+"""Span indexing: the shared substrate of every ``repro.perf`` analysis.
+
+All of :mod:`repro.perf` consumes the same raw material — the span
+events (:data:`repro.observe.tracer.SPAN_KINDS`) of one traced run.
+:class:`TraceIndex` digests an event stream once into the views every
+analysis needs (per-thread ordered spans, the global end-sorted order,
+makespan, the time ledgers) so critical-path extraction, counter
+groups, and traffic matrices never re-scan the stream themselves.
+
+The index relies on two properties the tracer guarantees (and
+:class:`repro.observe.invariants.InvariantChecker` audits):
+
+* per thread, spans tile ``[0, done_at]`` exactly — a thread is always
+  computing, transferring, lock-waiting, or run-queued;
+* events are emitted in causal order: a span is emitted no later than
+  any event it caused (``seq`` is a topological order of the run).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.observe.tracer import TraceEvent
+
+#: Span kinds that represent *work* (occupying a PU making progress);
+#: ``wait`` (parked on a lock) and ``runq`` (queued behind another
+#: thread) are elapsed time but not work.
+WORK_KINDS = frozenset({"compute", "transfer"})
+
+
+def bucket_of(ev: TraceEvent) -> str:
+    """The attribution bucket of a span: its kind, with transfers keyed
+    by the sharing level the bytes crossed (``transfer:NUMANODE``)."""
+    if ev.kind == "transfer" and ev.level:
+        return f"transfer:{ev.level}"
+    return ev.kind
+
+
+@dataclass
+class TraceIndex:
+    """One traced run, digested for analysis.
+
+    Attributes
+    ----------
+    spans:
+        All span events in emission (= causal) order.
+    by_thread:
+        ``tid -> spans of that thread`` in program order; per-thread
+        span starts are non-decreasing.
+    makespan:
+        Latest span end (0.0 for an empty stream) — the simulated
+        processing time as witnessed by the trace.
+    serial_time:
+        Total span-seconds across all threads (busy + blocked); running
+        the whole schedule on one PU could not beat it.
+    work_time:
+        Total compute + transfer seconds — the work the run performed.
+    n_events:
+        Size of the raw stream the index was built from.
+    """
+
+    spans: tuple[TraceEvent, ...] = ()
+    by_thread: dict[int, list[TraceEvent]] = field(default_factory=dict)
+    makespan: float = 0.0
+    serial_time: float = 0.0
+    work_time: float = 0.0
+    n_events: int = 0
+    #: spans sorted by ``(end, seq)`` (for releaser lookups).
+    _by_end: list[TraceEvent] = field(default_factory=list, repr=False)
+    _end_keys: list[float] = field(default_factory=list, repr=False)
+
+    @classmethod
+    def of(cls, events: Iterable[TraceEvent]) -> "TraceIndex":
+        spans: list[TraceEvent] = []
+        by_thread: dict[int, list[TraceEvent]] = {}
+        makespan = 0.0
+        serial = 0.0
+        work = 0.0
+        n_events = 0
+        for ev in events:
+            n_events += 1
+            if not ev.is_span():
+                continue
+            spans.append(ev)
+            by_thread.setdefault(ev.tid, []).append(ev)
+            end = ev.end
+            if end > makespan:
+                makespan = end
+            serial += ev.dur
+            if ev.kind in WORK_KINDS:
+                work += ev.dur
+        by_end = sorted(spans, key=lambda e: (e.end, e.seq))
+        return cls(
+            spans=tuple(spans),
+            by_thread=by_thread,
+            makespan=makespan,
+            serial_time=serial,
+            work_time=work,
+            n_events=n_events,
+            _by_end=by_end,
+            _end_keys=[e.end for e in by_end],
+        )
+
+    # -- lookups ------------------------------------------------------------
+
+    def last_ending_before(
+        self,
+        t: float,
+        exclude_tid: Optional[int] = None,
+        require_dur: float = 0.0,
+        prefer_work: bool = False,
+        max_scan: int = 128,
+    ) -> Optional[TraceEvent]:
+        """The span with the greatest ``(end, seq)`` such that
+        ``end <= t``, optionally excluding one thread, zero-duration
+        spans, and (when *prefer_work*) preferring non-wait spans.
+
+        Scans at most *max_scan* candidates leftward from the cut so a
+        degenerate stream cannot turn one lookup quadratic; returns the
+        best candidate seen (or ``None``).
+        """
+        i = bisect_right(self._end_keys, t) - 1
+        fallback: Optional[TraceEvent] = None
+        scanned = 0
+        while i >= 0 and scanned < max_scan:
+            ev = self._by_end[i]
+            i -= 1
+            scanned += 1
+            if exclude_tid is not None and ev.tid == exclude_tid:
+                continue
+            if ev.dur <= require_dur:
+                continue
+            if prefer_work and ev.kind == "wait":
+                if fallback is None:
+                    fallback = ev
+                continue
+            return ev
+        return fallback
+
+    def span_covering(self, tid: int, t: float) -> Optional[TraceEvent]:
+        """The latest span of *tid* starting strictly before *t*."""
+        spans = self.by_thread.get(tid)
+        if not spans:
+            return None
+        lo, hi = 0, len(spans)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if spans[mid].ts < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return spans[lo - 1] if lo else None
+
+    def last_finisher(self) -> Optional[TraceEvent]:
+        """The span that ends last (ties broken by emission order)."""
+        return self._by_end[-1] if self._by_end else None
+
+
+def ensure_index(
+    events_or_index: "TraceIndex | Sequence[TraceEvent]",
+) -> TraceIndex:
+    """Accept either a prebuilt index or a raw event sequence."""
+    if isinstance(events_or_index, TraceIndex):
+        return events_or_index
+    return TraceIndex.of(events_or_index)

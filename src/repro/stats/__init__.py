@@ -27,7 +27,12 @@ default 1 = today's single-run behavior, unchanged to the byte.
 
 from __future__ import annotations
 
-from repro.stats.aggregate import DEFAULT_N_BOOT, SeedStats, summarize
+from repro.stats.aggregate import (
+    DEFAULT_N_BOOT,
+    SeedStats,
+    summarize,
+    summarize_map,
+)
 from repro.stats.significance import (
     PairedVerdict,
     SpeedupVerdict,
@@ -71,4 +76,5 @@ __all__ = [
     "run_replicated",
     "speedup_distribution",
     "summarize",
+    "summarize_map",
 ]

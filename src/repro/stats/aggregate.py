@@ -122,3 +122,33 @@ def summarize(
         ci_lo=min(lo, mean), ci_hi=max(hi, mean), confidence=confidence,
         values=tuple(float(v) for v in vals),
     )
+
+
+def summarize_map(
+    rows: Sequence[dict],
+    confidence: float = 0.95,
+    n_boot: int = DEFAULT_N_BOOT,
+) -> dict[str, SeedStats]:
+    """Aggregate replicate *metric dicts* key by key.
+
+    *rows* are flat ``{metric name -> value}`` dicts, one per replicate
+    (e.g. :meth:`repro.perf.PerfReport.summary` across seeds).  Only
+    keys present in **every** row are aggregated — a metric missing from
+    one replicate (a bucket that never occurred under that seed) has no
+    defensible fill value, so it is dropped rather than silently
+    zero-padded.  Keys come back sorted; inherits :func:`summarize`'s
+    determinism and order invariance.
+    """
+    if len(rows) == 0:
+        raise ValidationError("cannot summarize zero replicate rows")
+    common = set(rows[0])
+    for row in rows[1:]:
+        common &= set(row)
+    return {
+        key: summarize(
+            [float(row[key]) for row in rows],
+            confidence=confidence,
+            n_boot=n_boot,
+        )
+        for key in sorted(common)
+    }

@@ -34,6 +34,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="replicates per point (1 = the historical "
                              "single-run sweep; > 1 adds mean/CI statistics "
                              "and a speedup-significance verdict)")
+    parser.add_argument("--perf-report", metavar="DIR",
+                        help="trace every point and write per-point perf "
+                             "reports (JSON + text) and per-core-count "
+                             "top-down gap attributions into DIR")
     args = parser.parse_args(argv)
 
     result = run_fig1(
@@ -43,6 +47,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         n_workers=args.workers,
         seeds=args.seeds,
+        perf_report=args.perf_report is not None,
     )
     print(result.table())
     if args.seeds > 1:
@@ -55,6 +60,19 @@ def main(argv: list[str] | None = None) -> int:
 
         print()
         print(plot_fig1(result))
+
+    if args.perf_report:
+        from repro.tools._perf_artifacts import write_point_reports
+
+        n_files = write_point_reports(
+            args.perf_report,
+            [
+                (f"fig1-{p.implementation}-{p.n_cores}",
+                 (p.n_cores,), p.perf)
+                for p in result.points
+            ],
+        )
+        print(f"\nwrote {n_files} perf artifacts to {args.perf_report}")
 
     if args.csv:
         with open(args.csv, "w", newline="") as fh:

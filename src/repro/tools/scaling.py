@@ -63,6 +63,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the ASCII speedup chart to a file")
     parser.add_argument("--plot", action="store_true",
                         help="print the ASCII speedup chart")
+    parser.add_argument("--perf-report", metavar="DIR",
+                        help="trace every point and write per-point perf "
+                             "reports (JSON + text) and per-preset "
+                             "top-down gap attributions into DIR")
     args = parser.parse_args(argv)
 
     result = run_scaling(
@@ -73,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
         seeds=args.seeds,
         alpha=args.alpha,
         n_workers=args.workers,
+        perf_report=args.perf_report is not None,
     )
     print(result.speedup_table())
     if args.plot:
@@ -82,6 +87,18 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.chart, "w") as fh:
             fh.write(result.chart() + "\n")
         print(f"\nwrote chart to {args.chart}")
+    if args.perf_report:
+        from repro.tools._perf_artifacts import write_point_reports
+
+        n_files = write_point_reports(
+            args.perf_report,
+            [
+                (f"scaling-{p.implementation}-{p.preset}",
+                 (p.preset,), p.perf)
+                for p in result.points
+            ],
+        )
+        print(f"\nwrote {n_files} perf artifacts to {args.perf_report}")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(result.to_json_dict(), fh, indent=2, sort_keys=True)

@@ -12,17 +12,24 @@ Usage::
 
     # Where did the bytes move?  Per-sharing-level traffic table:
     python -m repro.tools.trace --workload lk23 --policy nobind --traffic
+
+    # Explore an archived stream: remote transfers only, with stats:
+    python -m repro.tools.trace --input lk23.jsonl \\
+        --filter kind=transfer,level=MACHINE --stats
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from collections import Counter
 
 from repro.observe import (
+    EventFilter,
     Tracer,
     TraceSummary,
     check_run,
+    read_jsonl,
     run_fingerprint,
     write_chrome,
     write_jsonl,
@@ -79,6 +86,51 @@ def build_lk23(n: int, tasks: int, iterations: int) -> Program:
     )
 
 
+def render_stats(events) -> str:
+    """Per-kind duration statistics and per-level byte totals.
+
+    The exploration companion of :class:`EventFilter`: after narrowing
+    a large stream to the events of interest, this is the one-screen
+    answer to "how many, how long, how heavy".
+    """
+    n = 0
+    by_kind: dict[str, list[float]] = {}
+    bytes_by_level: Counter = Counter()
+    threads: set[int] = set()
+    t_lo = float("inf")
+    t_hi = 0.0
+    for ev in events:
+        n += 1
+        by_kind.setdefault(ev.kind, []).append(ev.dur)
+        if ev.kind == "transfer" and ev.level:
+            bytes_by_level[ev.level] += ev.nbytes
+        if ev.tid >= 0:
+            threads.add(ev.tid)
+        t_lo = min(t_lo, ev.ts)
+        t_hi = max(t_hi, ev.end)
+    if n == 0:
+        return "(no events matched)"
+    lines = [
+        f"{n} events, {len(threads)} threads, "
+        f"time range [{t_lo:.6g}, {t_hi:.6g}] s",
+        f"{'kind':<12} {'count':>8} {'total s':>12} {'mean s':>12} "
+        f"{'max s':>12}",
+    ]
+    lines.insert(1, "")
+    for kind in sorted(by_kind):
+        durs = by_kind[kind]
+        total = sum(durs)
+        lines.append(
+            f"{kind:<12} {len(durs):>8} {total:>12.6g} "
+            f"{total / len(durs):>12.6g} {max(durs):>12.6g}"
+        )
+    if bytes_by_level:
+        lines.append("")
+        for level, nbytes in sorted(bytes_by_level.items()):
+            lines.append(f"bytes [{level:<9}] {nbytes:>14.6g}")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.tools.trace", description=__doc__.splitlines()[0]
@@ -110,36 +162,72 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the run's determinism fingerprint")
     parser.add_argument("--traffic", action="store_true",
                         help="print the per-sharing-level traffic table")
+    parser.add_argument("--input", metavar="FILE",
+                        help="read an archived JSONL stream instead of "
+                             "running a workload (disables --check/--hash/"
+                             "--traffic, which need the live machine)")
+    parser.add_argument("--filter", metavar="SPEC", default="",
+                        help="event selection, e.g. "
+                             "'kind=transfer|wait,thread=*ctl*,level=MACHINE,"
+                             "min-dur=1e-6' (applied before export/stats)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-kind duration statistics and "
+                             "per-level byte totals of the (filtered) stream")
     args = parser.parse_args(argv)
 
-    topo = resolve_topology(args.topology)
-    if args.workload == "ring":
-        prog = build_ring(args.stages, args.rounds, args.packet_kib * 1024)
+    try:
+        event_filter = EventFilter.parse(args.filter)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.input:
+        for flag in ("check", "hash", "traffic"):
+            if getattr(args, flag):
+                parser.error(f"--{flag} needs a live run; "
+                             "it cannot audit an --input stream")
+        events = tuple(read_jsonl(args.input))
+        source = args.input
     else:
-        tasks = args.tasks if args.tasks is not None else topo.nb_pus
-        prog = build_lk23(args.n, tasks, args.iterations)
+        topo = resolve_topology(args.topology)
+        if args.workload == "ring":
+            prog = build_ring(args.stages, args.rounds, args.packet_kib * 1024)
+        else:
+            tasks = args.tasks if args.tasks is not None else topo.nb_pus
+            prog = build_lk23(args.n, tasks, args.iterations)
 
-    plan = bind_program(prog, topo, policy=args.policy)
-    tracer = Tracer()
-    machine = Machine(topo, seed=args.seed, tracer=tracer)
-    result = Runtime(
-        prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
-    ).run()
+        plan = bind_program(prog, topo, policy=args.policy)
+        tracer = Tracer()
+        machine = Machine(topo, seed=args.seed, tracer=tracer)
+        result = Runtime(
+            prog, machine, mapping=plan.mapping, control_mapping=plan.control_mapping
+        ).run()
+        events = tracer.events
+        source = f"{args.workload} on {topo} under {args.policy}"
+        print(f"processing : {result.time:.6f} simulated s")
 
-    summary = TraceSummary.of(tracer.events)
-    print(f"workload   : {args.workload} on {topo} under {args.policy}")
-    print(f"processing : {result.time:.6f} simulated s")
+    if args.filter:
+        selected = tuple(event_filter.apply(events))
+        print(f"filter     : {args.filter!r} kept {len(selected)} of "
+              f"{len(events)} events")
+        events = selected
+
+    summary = TraceSummary.of(events)
+    print(f"workload   : {source}")
     print(f"trace      : {summary.events} events ({summary.spans} spans), "
           f"kinds { {k: v for k, v in sorted(summary.by_kind.items())} }")
 
+    if args.stats:
+        print()
+        print(render_stats(events))
+
     if args.out:
         if args.format == "chrome":
-            n = write_chrome(tracer.events, args.out,
+            n = write_chrome(events, args.out,
                              process_name=f"{args.workload}/{args.policy}")
             print(f"exported   : {n} events -> {args.out} (chrome trace_event; "
                   "open in https://ui.perfetto.dev)")
         else:
-            n = write_jsonl(tracer.events, args.out)
+            n = write_jsonl(events, args.out)
             print(f"exported   : {n} events -> {args.out} (JSON-lines)")
 
     if args.hash:

@@ -252,8 +252,11 @@ class TestFaultInjection:
                 super().record_transfer(level, 0.0, duration)
 
         report = self.run_with_metrics_double(small_topo, LeakyMetrics())
+        # The dropped bytes break the per-level ledger *and* its
+        # reconciliation against the trace-derived NUMA traffic matrix.
         assert {v.invariant for v in report.violations} == {
-            "transfer-bytes-conservation"
+            "transfer-bytes-conservation",
+            "numa-traffic-reconciliation",
         }
 
     def test_double_counted_transfer_is_caught(self, small_topo):
