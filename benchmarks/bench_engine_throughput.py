@@ -1,0 +1,83 @@
+"""Batched engine dispatch must be >= 10x scalar on the paper preset.
+
+The batched engine (``Engine(mode="batched")``, the default) pops
+same-timestamp event cohorts from the heap in one step and releases
+barrier-style waiter sets as one array operation instead of N heap
+pushes.  This benchmark pins the payoff on the workload the refactor
+targets: barrier rounds on the paper's 192-PU SMP, where every round
+wakes one waiter per PU at the same timestamp.
+
+The schedule is pre-loaded (waiters registered and events fired during
+setup) so the timed region is ``engine.run()`` alone — pure event
+dispatch throughput, the quantity the engine refactor optimizes.  The
+scalar reference then drains ROUNDS x WIDTH individual heap entries
+while the batched engine drains ROUNDS cohorts; both must agree on
+``events_fired`` and the final clock, so the speedup cannot come from
+doing less work.
+
+Best-of-N timing (not mean) to shed scheduler noise on shared CI boxes.
+"""
+
+import time
+
+from repro.simulate.engine import Engine, SimEvent
+from repro.topology import presets
+
+PRESET = "paper-smp"
+ROUNDS = 500
+TIMING_ROUNDS = 3
+MIN_SPEEDUP = 10.0
+
+
+def build_barrier_schedule(mode: str, width: int) -> Engine:
+    """Pre-load ROUNDS barrier wakeups of *width* waiters each."""
+    eng = Engine(mode=mode)
+    waiters = [lambda: None for _ in range(width)]
+    for r in range(ROUNDS):
+        ev = SimEvent(eng, "barrier")
+        for cb in waiters:
+            ev.wait(cb)
+        ev.fire(delay=float(r))
+    return eng
+
+
+def drain_throughput(mode: str, width: int) -> tuple[float, Engine]:
+    """Best-of-N events/second for draining the pre-loaded schedule."""
+    best = 0.0
+    eng = Engine(mode=mode)
+    for _ in range(TIMING_ROUNDS):
+        eng = build_barrier_schedule(mode, width)
+        t0 = time.perf_counter()
+        eng.run()
+        wall = time.perf_counter() - t0
+        best = max(best, eng.events_fired / wall)
+    return best, eng
+
+
+def test_batched_dispatch_speedup(benchmark):
+    width = presets.by_name(PRESET).nb_pus
+    # Warm both paths (imports, bytecode) before timing anything.
+    build_barrier_schedule("scalar", 4).run()
+    build_barrier_schedule("batched", 4).run()
+
+    scalar_eps, scalar_eng = drain_throughput("scalar", width)
+
+    def timed() -> float:
+        eps, eng = drain_throughput("batched", width)
+        # Identity contract: same events, same final clock.
+        assert eng.events_fired == scalar_eng.events_fired
+        assert eng.now == scalar_eng.now
+        assert eng.pending == 0
+        return eps
+
+    batched_eps = benchmark.pedantic(timed, rounds=1, iterations=1)
+    speedup = batched_eps / scalar_eps
+    benchmark.extra_info["width_pus"] = width
+    benchmark.extra_info["scalar_events_per_s"] = scalar_eps
+    benchmark.extra_info["batched_events_per_s"] = batched_eps
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched dispatch only {speedup:.1f}x scalar "
+        f"(scalar {scalar_eps:,.0f} ev/s, batched {batched_eps:,.0f} ev/s); "
+        f"contract requires >= {MIN_SPEEDUP}x on {PRESET}"
+    )

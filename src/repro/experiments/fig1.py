@@ -332,6 +332,7 @@ def run_point(
     seed: int = 0,
     fingerprint: bool = False,
     perf_report: bool = False,
+    engine_mode: Optional[str] = None,
 ) -> Fig1Point:
     """Run one implementation at one core count; returns the point.
 
@@ -340,6 +341,9 @@ def run_point(
     assert two sweeps (e.g. serial vs parallel) did bit-identical work.
     With *perf_report*, the run is traced and the point carries the
     JSON form of its :func:`repro.perf.analyze` report in ``perf``.
+    *engine_mode* selects the discrete-event engine variant
+    (``"batched"``/``"scalar"``, ``None`` = process default); it travels
+    in the sweep-spec kwargs so pool workers honour it too.
     """
     if implementation not in IMPLEMENTATIONS:
         raise ValidationError(
@@ -361,7 +365,9 @@ def run_point(
         from repro.observe.tracer import Tracer
 
         tracer = Tracer()
-    machine = Machine(topo, distance_model=dm, seed=seed, tracer=tracer)
+    machine = Machine(
+        topo, distance_model=dm, seed=seed, tracer=tracer, engine_mode=engine_mode
+    )
 
     if implementation == "openmp":
         result = run_openmp_lk23(
@@ -431,6 +437,7 @@ def run_fig1(
     runner: Optional[SweepRunner] = None,
     seeds: int = 1,
     confidence: float = 0.95,
+    engine_mode: Optional[str] = None,
 ) -> Fig1Result:
     """The full Figure-1 sweep.
 
@@ -466,6 +473,7 @@ def run_fig1(
                 n=n,
                 fingerprint=fingerprint,
                 perf_report=perf_report,
+                engine_mode=engine_mode,
             ),
             key=(impl, c),
             label=f"{impl}@{c}",

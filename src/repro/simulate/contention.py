@@ -52,6 +52,13 @@ class ContentionConfig:
             )
 
 
+#: Levels whose transfers cross a NUMA node's DRAM controller / the
+#: global interconnect.  Frozen sets resolved once at import: the
+#: membership tests below run on every transfer of every simulation.
+_DRAM_LEVELS = frozenset({ObjType.NUMANODE, ObjType.GROUP, ObjType.MACHINE})
+_INTERCONNECT_LEVELS = frozenset({ObjType.GROUP, ObjType.MACHINE})
+
+
 class ContentionModel:
     """In-flight transfer bookkeeping and slowdown computation."""
 
@@ -67,10 +74,10 @@ class ContentionModel:
     # wider transfers hit the producer's controller AND the interconnect.
 
     def _crosses_dram(self, level: ObjType) -> bool:
-        return level in (ObjType.NUMANODE, ObjType.GROUP, ObjType.MACHINE)
+        return level in _DRAM_LEVELS
 
     def _crosses_interconnect(self, level: ObjType) -> bool:
-        return level in (ObjType.GROUP, ObjType.MACHINE)
+        return level in _INTERCONNECT_LEVELS
 
     def slowdown(self, level: ObjType, producer_node: int) -> float:
         """Multiplicative stretch a transfer starting now experiences."""

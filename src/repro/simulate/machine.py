@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Callable, Generator, Optional
 import numpy as np
 
 from repro.simulate.contention import ContentionConfig, ContentionModel
-from repro.simulate.engine import Engine, SimEvent, SimulationError
+from repro.simulate.engine import ENGINE_MODES, Engine, SimEvent, SimulationError
 from repro.simulate.metrics import MachineMetrics
 from repro.simulate.scheduler import OsScheduler, SchedulerConfig
 from repro.simulate.syscalls import (
@@ -53,6 +53,30 @@ ThreadBody = Generator[Syscall, None, None]
 #: it to attach tracers to machines built deep inside examples and
 #: tools without plumbing a tracer through their APIs.
 new_machine_hook: Optional[Callable[["Machine"], None]] = None
+
+#: Engine mode a machine uses when none is given explicitly.  The
+#: batched cohort engine is the production default; the scalar engine
+#: is the bit-identical reference (see ``repro.simulate.engine``).
+DEFAULT_ENGINE_MODE = "batched"
+
+
+def set_default_engine_mode(mode: str) -> str:
+    """Set the process-wide default engine mode; returns the previous one.
+
+    Entry points (``--engine-mode`` CLI flags, the differential test
+    harness) use this to flip every machine built downstream without
+    threading a parameter through each constructor.  Sweep workers
+    receive the mode inside their task payload instead — a process-pool
+    worker does not inherit this module global.
+    """
+    global DEFAULT_ENGINE_MODE
+    if mode not in ENGINE_MODES:
+        raise SimulationError(
+            f"unknown engine mode {mode!r}; one of {ENGINE_MODES}"
+        )
+    previous = DEFAULT_ENGINE_MODE
+    DEFAULT_ENGINE_MODE = mode
+    return previous
 
 
 class ThreadState(enum.Enum):
@@ -160,6 +184,12 @@ class Machine:
         transfer, wait, runq, migration), tagged with PU / NUMA node /
         sharing level, and wires the engine and scheduler probes.  See
         :mod:`repro.observe`.
+    engine_mode:
+        ``"batched"`` (event-cohort engine, the default via
+        :data:`DEFAULT_ENGINE_MODE`) or ``"scalar"`` (the reference
+        engine).  Results are bit-identical either way — the
+        differential harness and the golden fingerprints enforce it —
+        only the wall-clock throughput differs.
     """
 
     def __init__(
@@ -174,6 +204,7 @@ class Machine:
         timeline: bool = False,
         core_rate_of: Optional[dict[int, float]] = None,
         tracer: Optional["Tracer"] = None,
+        engine_mode: Optional[str] = None,
     ) -> None:
         self.topo = topo
         self.distances = distance_model or DistanceModel(topo)
@@ -191,7 +222,9 @@ class Machine:
         if not 0.0 <= compute_jitter < 1.0:
             raise ValueError(f"compute_jitter must be in [0, 1), got {compute_jitter}")
         self.compute_jitter = compute_jitter
-        self.engine = Engine()
+        self.engine_mode = engine_mode or DEFAULT_ENGINE_MODE
+        self.engine = Engine(mode=self.engine_mode)
+        self._batched = self.engine_mode == "batched"
         self.metrics = MachineMetrics()
         n_pus = topo.nb_pus
         n_nodes = max(topo.nbobjs_by_type(ObjType.NUMANODE), 1)
@@ -226,10 +259,24 @@ class Machine:
             t: self.distances.level_costs.get(t, DEFAULT_LEVEL_COSTS[ObjType.MACHINE])
             for t in ObjType
         }
+        # Vectorized per-level charging tables: latency / bandwidth
+        # per ObjType value, so a node-stream price is two array reads
+        # and one fused `lat + nbytes / bw` instead of a dict lookup
+        # plus a dataclass method call.  Same doubles, same result —
+        # only the dispatch is cheaper.
+        n_types = max(int(t) for t in ObjType) + 1
+        self._level_lat = np.zeros(n_types, dtype=np.float64)
+        self._level_bw = np.ones(n_types, dtype=np.float64)
+        for t, costs in self._costs_of_level.items():
+            self._level_lat[int(t)] = costs.latency
+            self._level_bw[int(t)] = costs.bandwidth
         # UMA machines charge NUMANODE-class cost for node streams.
         self._uma_node_costs = self.distances.level_costs.get(
             ObjType.NUMANODE, DEFAULT_LEVEL_COSTS[ObjType.NUMANODE]
         )
+        #: scratch buffer for per-PU backlog vectors (one allocation per
+        #: machine instead of two per balancing decision).
+        self._backlog_buf = np.empty(n_pus, dtype=np.float64)
         self._started = False
         if timeline:
             from repro.simulate.timeline import Timeline
@@ -429,23 +476,51 @@ class Machine:
         elif isinstance(sc, Wait):
             t.state = ThreadState.BLOCKED
             t.blocked_since = self.engine.now
-            sc.event.wait(self._unblock_fn(t, sc.event.name))
+            sc.event.wait_thread(self, t, sc.event.name)
         elif isinstance(sc, Yield):
             t.state = ThreadState.READY
             self.engine.schedule(0.0, t.resume_cb or self._resume_fn(t))
         else:
             raise SimulationError(f"thread {t.tid} yielded non-syscall {sc!r}")
 
-    def _unblock_fn(self, t: SimThread, event_name: str = "") -> Callable[[], None]:
-        def unblock() -> None:
+    def _release_batch(self, threads: list[SimThread], names: list[str]) -> None:
+        """Wake a run of threads parked on one event (engine callback).
+
+        The wakeup accounting is vectorized over the run: one numpy
+        subtraction prices every thread's wait and one
+        :meth:`MachineMetrics.record_wait_batch` call accumulates them
+        in thread order — bit-identical to the scalar engine's
+        per-waiter unblock closures (same doubles, same addition
+        order).  The per-thread trace emission and generator resumption
+        stay interleaved exactly as in the scalar path, so trace
+        streams match byte for byte.
+        """
+        if len(threads) == 1:
+            # Hot single-thread path (post-fire waits, lock grants):
+            # plain scalar arithmetic, no array round-trip.
+            t = threads[0]
             waited = self.engine.now - t.blocked_since
             self.metrics.record_wait(waited)
             t.wait_time += waited
             if self.tracer is not None:
-                self._trace("wait", t, t.blocked_since, waited, detail=event_name)
+                self._trace("wait", t, t.blocked_since, waited, detail=names[0])
             self._advance(t)
-
-        return unblock
+            return
+        now = self.engine.now
+        blocked = np.fromiter(
+            (t.blocked_since for t in threads), dtype=np.float64, count=len(threads)
+        )
+        waited = now - blocked
+        self.metrics.record_wait_batch(waited)
+        waited_list = waited.tolist()
+        blocked_list = blocked.tolist()
+        traced = self.tracer is not None
+        for i, t in enumerate(threads):
+            w = waited_list[i]
+            t.wait_time += w
+            if traced:
+                self._trace("wait", t, blocked_list[i], w, detail=names[i])
+            self._advance(t)
 
     def _occupy_pu(self, t: SimThread, duration: float) -> tuple[float, float]:
         """Serialize *duration* of PU occupancy; returns (start, end).
@@ -471,6 +546,14 @@ class Machine:
         self._pu_free_at[pu] = end
         return start, end
 
+    def _backlog(self) -> np.ndarray:
+        """Per-PU pending-CPU-seconds vector, written into the reusable
+        scratch buffer (callers use it immediately, never retain it)."""
+        buf = self._backlog_buf
+        np.subtract(self._pu_free_at, self.engine.now, out=buf)
+        np.maximum(buf, 0.0, out=buf)
+        return buf
+
     def _maybe_pull(self, t: SimThread) -> None:
         """Idle-balance an unbound thread before it occupies its PU.
 
@@ -481,8 +564,7 @@ class Machine:
         """
         if t.is_bound:
             return
-        backlog = np.maximum(self._pu_free_at - self.engine.now, 0.0)
-        target = self.scheduler.pull_target(t.current_pu, backlog)
+        target = self.scheduler.pull_target(t.current_pu, self._backlog())
         if target is not None:
             source = t.current_pu
             self.scheduler.vacate(t.current_pu)
@@ -527,8 +609,7 @@ class Machine:
         quantum = self.scheduler.config.migration_quantum
         while t.consumed_since_balance >= quantum:
             t.consumed_since_balance -= quantum
-            backlog = np.maximum(self._pu_free_at - self.engine.now, 0.0)
-            target = self.scheduler.maybe_migrate(t.current_pu, backlog)
+            target = self.scheduler.maybe_migrate(t.current_pu, self._backlog())
             if target is not None:
                 source = t.current_pu
                 self.scheduler.vacate(t.current_pu)
@@ -615,7 +696,11 @@ class Machine:
         else:
             rep = self._node_rep_pu[node_index]
             level = self.distances.lca_type(rep, dst_pu)
-        base = self._costs_of_level[level].transfer_time(nbytes)
+        ti = int(level)
+        base = (
+            0.0 if nbytes <= 0
+            else float(self._level_lat[ti] + nbytes / self._level_bw[ti])
+        )
         if t.pending_penalty > 0.0:
             base += t.pending_penalty
             t.pending_penalty = 0.0

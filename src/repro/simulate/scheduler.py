@@ -104,10 +104,15 @@ class OsScheduler:
         tie-break) — topology-blind, like a real kernel's idle balance.
         Returns ``None`` when the placement is fine.
         """
-        imbalance = float(backlog[current_pu] - backlog.min())
+        # One reduction pass: the minimum feeds both the imbalance test
+        # and the candidate mask (the backlog vector arrives in the
+        # machine's scratch buffer, so this path allocates nothing but
+        # the candidate index array).
+        low = backlog.min()
+        imbalance = float(backlog[current_pu] - low)
         if imbalance <= self.config.imbalance_threshold:
             return None
-        candidates = np.flatnonzero(backlog == backlog.min())
+        candidates = np.flatnonzero(backlog == low)
         target = int(candidates[self._rng.integers(len(candidates))])
         if target == current_pu:
             return None

@@ -34,6 +34,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="replicates per point (1 = the historical "
                              "single-run sweep; > 1 adds mean/CI statistics "
                              "and a speedup-significance verdict)")
+    parser.add_argument("--engine-mode", choices=("batched", "scalar"),
+                        default=None,
+                        help="discrete-event engine variant (default: the "
+                             "process default, batched; scalar is the "
+                             "bit-identical reference)")
     parser.add_argument("--perf-report", metavar="DIR",
                         help="trace every point and write per-point perf "
                              "reports (JSON + text) and per-core-count "
@@ -48,6 +53,7 @@ def main(argv: list[str] | None = None) -> int:
         n_workers=args.workers,
         seeds=args.seeds,
         perf_report=args.perf_report is not None,
+        engine_mode=args.engine_mode,
     )
     print(result.table())
     if args.seeds > 1:

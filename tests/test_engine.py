@@ -1,8 +1,15 @@
-"""Tests for the discrete-event engine and SimEvent."""
+"""Tests for the discrete-event engine and SimEvent.
+
+Most cases run on the default (batched) engine; the scalar reference is
+covered by the same suite via the ``mode`` parametrization plus the
+full cross-mode harness in ``tests/test_engine_differential.py``.
+"""
+
+import math
 
 import pytest
 
-from repro.simulate.engine import Engine, SimEvent, SimulationError
+from repro.simulate.engine import ENGINE_MODES, Engine, SimEvent, SimulationError
 
 
 class TestEngine:
@@ -152,3 +159,177 @@ class TestSimEvent:
         ev.fire()
         e.run()
         assert sorted(log) == [0, 1, 2, 3]
+
+
+class TestNonFiniteDelays:
+    """Regression: NaN/inf delays used to slip into the heap.
+
+    ``delay < 0`` is False for NaN, so the old negative-delay guard let
+    NaN through — and one NaN timestamp silently corrupts heap ordering
+    (every comparison against NaN is False).  All scheduling entry
+    points must reject non-finite values up front, in both modes.
+    """
+
+    BAD = [float("nan"), float("inf"), -float("inf"), -1.0]
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    @pytest.mark.parametrize("delay", BAD, ids=repr)
+    def test_schedule_rejects(self, mode, delay):
+        with pytest.raises(SimulationError, match="finite"):
+            Engine(mode=mode).schedule(delay, lambda: None)
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    @pytest.mark.parametrize("time", BAD, ids=repr)
+    def test_at_rejects(self, mode, time):
+        with pytest.raises(SimulationError):
+            Engine(mode=mode).at(time, lambda: None)
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    @pytest.mark.parametrize("delay", BAD, ids=repr)
+    def test_fire_rejects(self, mode, delay):
+        ev = SimEvent(Engine(mode=mode))
+        ev.wait(lambda: None)
+        with pytest.raises(SimulationError, match="finite"):
+            ev.fire(delay)
+
+    def test_fire_validates_even_without_waiters(self):
+        """The delay check runs before the (possibly empty) release."""
+        ev = SimEvent(Engine())
+        with pytest.raises(SimulationError, match="finite"):
+            ev.fire(float("nan"))
+
+    def test_rejected_delay_leaves_engine_clean(self):
+        e = Engine()
+        with pytest.raises(SimulationError):
+            e.schedule(math.inf, lambda: None)
+        assert e.pending == 0
+        assert e.run() == 0.0
+
+
+class TestEngineModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError, match="unknown engine mode"):
+            Engine(mode="turbo")
+
+    def test_default_mode_is_batched(self):
+        assert Engine().mode == "batched"
+        assert ENGINE_MODES[0] == "batched"
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_pending_counts_every_waiter(self, mode):
+        """A cohort heap entry still counts as N pending events."""
+        e = Engine(mode=mode)
+        ev = SimEvent(e)
+        for k in range(5):
+            ev.wait(lambda: None)
+        ev.fire(delay=1.0)
+        assert e.pending == 5
+        e.run()
+        assert e.pending == 0
+        assert e.events_fired == 5
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_cohort_counts_toward_events_fired(self, mode):
+        e = Engine(mode=mode)
+        ev = SimEvent(e)
+        for _ in range(7):
+            ev.wait(lambda: None)
+        ev.fire()
+        e.schedule(2.0, lambda: None)
+        e.run()
+        assert e.events_fired == 8
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_schedule_after_fire_sorts_after_cohort(self, mode):
+        """seq reservation: a post-fire schedule at the same timestamp
+        must run after every waiter of the cohort, as it would have
+        with one heap entry per waiter."""
+        e = Engine(mode=mode)
+        ev = SimEvent(e)
+        log = []
+        for k in range(3):
+            ev.wait(lambda k=k: log.append(("w", k)))
+        ev.fire(delay=1.0)
+        e.schedule(1.0, lambda: log.append(("late", None)))
+        e.run()
+        assert log == [("w", 0), ("w", 1), ("w", 2), ("late", None)]
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_zero_delay_from_cohort_joins_timestamp(self, mode):
+        """A waiter scheduling at zero delay runs at the same simulated
+        time, after the rest of the cohort (higher seq)."""
+        e = Engine(mode=mode)
+        ev = SimEvent(e)
+        log = []
+        ev.wait(lambda: e.schedule(0.0, lambda: log.append(("z", e.now))))
+        ev.wait(lambda: log.append(("w", e.now)))
+        ev.fire(delay=1.0)
+        e.run()
+        assert log == [("w", 1.0), ("z", 1.0)]
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_step_drains_cohorts_too(self, mode):
+        e = Engine(mode=mode)
+        ev = SimEvent(e)
+        log = []
+        for k in range(4):
+            ev.wait(lambda k=k: log.append(k))
+        ev.fire(delay=1.0)
+        steps = 0
+        while e.step():
+            steps += 1
+        assert log == [0, 1, 2, 3]
+        assert e.events_fired == 4
+        # Batched mode drains the whole cohort as one heap entry.
+        assert steps == (1 if mode == "batched" else 4)
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_run_until_with_pending_cohort(self, mode):
+        e = Engine(mode=mode)
+        ev = SimEvent(e)
+        for _ in range(3):
+            ev.wait(lambda: None)
+        ev.fire(delay=10.0)
+        e.schedule(1.0, lambda: None)
+        assert e.run(until=5.0) == 5.0
+        assert e.events_fired == 1
+        assert e.pending == 3
+        e.run()
+        assert e.pending == 0
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_max_events_guard_with_cohorts(self, mode):
+        e = Engine(mode=mode)
+
+        def loop():
+            ev = SimEvent(e)
+            for _ in range(8):
+                ev.wait(lambda: None)
+            ev.wait(loop)
+            ev.fire()
+
+        loop()
+        with pytest.raises(SimulationError, match="max_events"):
+            e.run(max_events=500)
+
+    @pytest.mark.parametrize("mode", ENGINE_MODES)
+    def test_probe_called_once_per_logical_event(self, mode):
+        e = Engine(mode=mode)
+        seen = []
+        e.probe = seen.append
+        ev = SimEvent(e)
+        for _ in range(5):
+            ev.wait(lambda: None)
+        ev.fire(delay=2.0)
+        e.schedule(3.0, lambda: None)
+        e.run()
+        assert seen == [2.0] * 5 + [3.0]
+
+    def test_repr_counts_waiters_in_both_modes(self):
+        for mode in ENGINE_MODES:
+            ev = SimEvent(Engine(mode=mode), "b")
+            for _ in range(3):
+                ev.wait(lambda: None)
+            assert "3 waiting" in repr(ev)
+            ev.fire()
+            assert "fired" in repr(ev)
