@@ -1,0 +1,83 @@
+"""A warm content-addressed sweep rerun must be >= 5x the cold run.
+
+The point cache (:class:`repro.exec.cache.PointCache`) stores every
+sweep-point result under ``sha256(schema ⊕ function ⊕ kwargs)``; a
+repeated sweep looks each replicate up before dispatching and only
+simulates what is missing.  This benchmark pins the payoff on the
+workload the cache targets: the paper-preset Figure-1 sweep replicated
+over 5 seeds, run cold (empty store, every point simulated and stored)
+and then warm (every point served from the store).
+
+The timed region is the warm rerun alone.  Identity is not optional:
+every warm replicate must carry the same simulated time and the same
+determinism fingerprint as its cold twin, so the speedup can only come
+from *not recomputing*, never from computing something else.
+"""
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.exec.cache import PointCache
+from repro.experiments.fig1 import run_fig1
+
+CORE_COUNTS = (8, 16)
+ITERATIONS = 2
+N = 2048
+SEEDS = 5
+MIN_SPEEDUP = 5.0
+
+
+def run_sweep(cache: PointCache):
+    return run_fig1(
+        core_counts=CORE_COUNTS, iterations=ITERATIONS, n=N, seed=0,
+        fingerprint=True, n_workers=1, seeds=SEEDS, point_cache=cache,
+    )
+
+
+def replicate_rows(result):
+    return [
+        (p.implementation, p.n_cores, p.time, p.fingerprint)
+        for reps in result.replicates.values()
+        for p in reps
+    ]
+
+
+def test_warm_sweep_cache_speedup(benchmark):
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        cold_cache = PointCache(tmp / "points")
+        t0 = time.perf_counter()
+        cold = run_sweep(cold_cache)
+        cold_wall = time.perf_counter() - t0
+        assert cold_cache.hits == 0
+        assert cold_cache.stores == cold_cache.misses > 0
+
+        warm_cache = PointCache(tmp / "points")
+
+        def timed():
+            return run_sweep(warm_cache)
+
+        warm = benchmark.pedantic(timed, rounds=1, iterations=1)
+        warm_wall = benchmark.stats.stats.max
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    # Identity contract: the cached sweep is byte-for-byte the cold one.
+    assert replicate_rows(warm) == replicate_rows(cold)
+    assert warm_cache.misses == 0
+    assert warm_cache.hits == cold_cache.stores
+
+    speedup = cold_wall / warm_wall if warm_wall > 0 else float("inf")
+    benchmark.extra_info["n_runs"] = warm_cache.hits
+    benchmark.extra_info["cold_wall_s"] = cold_wall
+    benchmark.extra_info["warm_wall_s"] = warm_wall
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["sim_time_s"] = cold.best_time("orwl-bind")[1]
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm sweep only {speedup:.1f}x cold "
+        f"(cold {cold_wall:.2f}s, warm {warm_wall:.3f}s); "
+        f"contract requires >= {MIN_SPEEDUP}x on the paper-preset "
+        f"{SEEDS}-seed sweep"
+    )

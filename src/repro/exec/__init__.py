@@ -20,8 +20,19 @@ the repo's determinism contract intact:
   process-independent child seeds from a base seed and a point key;
 * **worker-side caching** — :mod:`repro.exec.cache` memoizes topology
   and :class:`~repro.topology.distance.DistanceModel` construction per
-  preset inside each worker, so a 192-PU distance matrix is built once
-  per process, not once per point;
+  preset inside each worker (LRU-bounded), so a 192-PU distance matrix
+  is built once per process, not once per point;
+* **placement memo** — :func:`cached_tree_match` keys TreeMatch results
+  on ``(topology fingerprint, comm-matrix digest, params)``; a
+  replicated sweep derives each seed-independent mapping once, with an
+  optional on-disk tier shared across workers and runs;
+* **zero-copy shared topologies** — :mod:`repro.exec.shm` exports
+  distance tables into ``multiprocessing.shared_memory`` once per
+  sweep; workers attach read-only numpy views instead of rebuilding;
+* **content-addressed point cache** — :class:`~repro.exec.cache.PointCache`
+  stores whole sweep-point results under ``sha256(fn ⊕ kwargs ⊕ schema)``,
+  so re-running a sweep only simulates the delta (``--no-cache`` on
+  every CLI restores the cold path, bit-identically);
 * **chunked dispatch** — points are shipped in chunks to amortize IPC;
 * **crash resilience** — a dying worker (OOM kill, segfault in a native
   extension) breaks the pool; the runner rebuilds it and retries the
@@ -35,10 +46,21 @@ the repo's determinism contract intact:
 from __future__ import annotations
 
 from repro.exec.cache import (
+    PointCache,
+    cache_dir,
+    cache_enabled,
+    cache_stats,
     cached_distance_model,
     cached_topology,
+    cached_tree_match,
     clear_cache,
+    configure_cache,
+    default_point_cache,
     machine_inputs,
+    matrix_digest,
+    point_key,
+    reset_cache_stats,
+    topology_fingerprint,
 )
 from repro.exec.progress import SweepEvent, log_progress, tracer_progress
 from repro.exec.runner import (
@@ -52,16 +74,27 @@ from repro.exec.runner import (
 
 __all__ = [
     "ExecError",
+    "PointCache",
     "SweepEvent",
     "SweepRunner",
     "Task",
+    "cache_dir",
+    "cache_enabled",
+    "cache_stats",
     "cached_distance_model",
     "cached_topology",
+    "cached_tree_match",
     "clear_cache",
+    "configure_cache",
+    "default_point_cache",
     "derive_seed",
     "log_progress",
     "machine_inputs",
+    "matrix_digest",
+    "point_key",
+    "reset_cache_stats",
     "resolve_workers",
     "run_sweep",
+    "topology_fingerprint",
     "tracer_progress",
 ]

@@ -1,25 +1,53 @@
-"""Worker-side construction caches, keyed by preset.
+"""Construction, placement, and sweep-point caches.
 
-Building a :class:`~repro.topology.tree.Topology` is cheap, but the
-:class:`~repro.topology.distance.DistanceModel` on top of it runs an
-O(P²) pure-Python LCA sweep — ~0.2 s for the paper's 192-PU machine.
-A Fig. 1 sweep touches each machine shape three times (once per
-implementation), and a parallel sweep touches it once *per worker per
-point* unless the construction is memoized.
+Three tiers, all bit-identical to the uncached paths (a cached object
+or result is byte-for-byte what the cold computation would produce;
+``tests/test_exec.py`` pins this with determinism fingerprints):
 
-These caches are plain module-level dicts, so each worker process (and
-the parent, for serial runs) pays the construction cost once per
-distinct ``(preset, shape)`` and reuses the objects after that.  That is
-safe because both objects are immutable after construction: the
-simulator only reads them (`Machine` keeps its own mutable state), and
-the :class:`DistanceModel`'s lazily cached hop matrix is derived purely
-from the topology.  Determinism is unaffected — a cached topology is
-byte-identical to a freshly built one.
+* **Construction caches** — :func:`cached_topology` /
+  :func:`cached_distance_model` memoize per-process topology and
+  :class:`~repro.topology.distance.DistanceModel` construction, keyed
+  by preset.  Building the model runs an O(P²) LCA sweep, so a sweep
+  touching the same machine shape many times pays it once per process.
+  Both caches are LRU-bounded so a long mega-topology sweep cannot grow
+  worker memory without limit.
+* **Placement memo** — :func:`cached_tree_match` memoizes TreeMatch
+  results keyed by ``(topology fingerprint, sha-256 comm-matrix digest,
+  algorithm params)``.  Placement is seed-independent, so an N-seed
+  replicated sweep derives each mapping once instead of N times; an
+  optional on-disk store (under :func:`cache_dir`) shares mappings
+  across worker processes and across runs.
+* **Point cache** — :class:`PointCache` is a content-addressed on-disk
+  store of whole sweep-point results, keyed by
+  ``sha256(schema version ⊕ function ⊕ kwargs)`` (the seed travels in
+  the kwargs).  Re-running a sweep after adding seeds or points only
+  simulates the delta; :class:`~repro.exec.runner.SweepRunner` consults
+  it before dispatching.
+
+Configuration travels through environment variables so pool workers
+(fork *and* spawn) inherit it: ``REPRO_CACHE=off`` disables every tier
+(the ``--no-cache`` escape hatch), ``REPRO_CACHE_DIR`` roots the
+on-disk tiers.  :func:`configure_cache` sets both.  Without a cache
+dir, the in-process tiers still run (they are pure memoization); no
+disk is ever touched.
+
+Every on-disk payload embeds the :data:`CACHE_SCHEMA_VERSION`, its own
+key, and a sha-256 of the pickled value; any mismatch — truncation,
+bit flips, stale schema, renamed files — reads as a transparent miss
+and the value is recomputed.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+import json
+import os
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.topology import presets
 from repro.topology.distance import (
@@ -27,8 +55,32 @@ from repro.topology.distance import (
     DEFAULT_LEVEL_COSTS,
     DistanceModel,
 )
+from repro.topology.serialize import to_dict as _topology_to_dict
 from repro.topology.tree import Topology
 from repro.util.validate import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.comm.matrix import CommMatrix
+    from repro.topology.cpuset import CpuSet
+    from repro.treematch.algorithm import TreeMatchResult
+
+#: Version tag baked into every cache key and on-disk payload.  Bump it
+#: whenever simulation semantics or pickled layouts change; old entries
+#: then read as misses instead of stale hits.
+CACHE_SCHEMA_VERSION = "repro-cache-v1"
+
+#: Environment switches (env vars so pool workers inherit them).
+ENV_CACHE = "REPRO_CACHE"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: The conventional on-disk root the CLIs default to.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: LRU capacity of the per-process topology / distance-model caches.
+TOPOLOGY_CACHE_CAP = 32
+
+#: LRU capacity of the in-process placement memo.
+PLACEMENT_CACHE_CAP = 256
 
 #: Named cost tables selectable by :func:`cached_distance_model`.
 COST_TABLES = {
@@ -36,8 +88,125 @@ COST_TABLES = {
     "cluster": CLUSTER_LEVEL_COSTS,
 }
 
-_TOPOLOGIES: dict[tuple, Topology] = {}
-_MODELS: dict[tuple, DistanceModel] = {}
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+def configure_cache(
+    enabled: bool = True, directory: Optional[Union[str, Path]] = None
+) -> None:
+    """Set the process-wide (and child-inherited) cache configuration.
+
+    ``enabled=False`` switches every tier off — the ``--no-cache`` cold
+    path.  *directory* roots the on-disk tiers (placement memo spillover
+    and :func:`default_point_cache`); ``None`` keeps caching purely
+    in-process.
+    """
+    if enabled:
+        os.environ.pop(ENV_CACHE, None)
+    else:
+        os.environ[ENV_CACHE] = "off"
+    if directory is None:
+        os.environ.pop(ENV_CACHE_DIR, None)
+    else:
+        os.environ[ENV_CACHE_DIR] = str(directory)
+
+
+def cache_enabled() -> bool:
+    """Whether any caching tier may serve hits (default: yes)."""
+    return os.environ.get(ENV_CACHE, "").strip().lower() not in (
+        "off", "0", "false", "no",
+    )
+
+
+def cache_dir() -> Optional[Path]:
+    """The on-disk cache root, or ``None`` when disk tiers are off."""
+    if not cache_enabled():
+        return None
+    value = os.environ.get(ENV_CACHE_DIR, "").strip()
+    return Path(value) if value else None
+
+
+# ---------------------------------------------------------------------------
+# Hit/miss counters
+# ---------------------------------------------------------------------------
+
+_STATS: dict[str, int] = {}
+
+
+def _bump(key: str, n: int = 1) -> None:
+    _STATS[key] = _STATS.get(key, 0) + n
+
+
+def cache_stats() -> dict[str, int]:
+    """Snapshot of this process's cumulative cache counters."""
+    return dict(_STATS)
+
+
+def stats_delta(
+    before: dict[str, int], after: Optional[dict[str, int]] = None
+) -> dict[str, int]:
+    """Counter increments between two snapshots (zero entries dropped).
+
+    Pool workers fork with the parent's counters already non-zero; the
+    runner snapshots around each chunk and ships only the delta home.
+    """
+    if after is None:
+        after = cache_stats()
+    out = {}
+    for key, value in after.items():
+        d = value - before.get(key, 0)
+        if d:
+            out[key] = d
+    return out
+
+
+def merge_stats(into: dict[str, int], delta: dict[str, int]) -> dict[str, int]:
+    """Accumulate *delta* into *into* (in place; returned for chaining)."""
+    for key, value in delta.items():
+        into[key] = into.get(key, 0) + value
+    return into
+
+
+def reset_cache_stats() -> None:
+    """Zero the counters (tests and benchmarks)."""
+    _STATS.clear()
+
+
+# ---------------------------------------------------------------------------
+# Bounded in-process caches
+# ---------------------------------------------------------------------------
+
+
+class _LRUDict(OrderedDict):
+    """A dict evicting its least-recently-used entry past *cap* items."""
+
+    def __init__(self, cap: int) -> None:
+        super().__init__()
+        if cap <= 0:
+            raise ValidationError(f"LRU cap must be > 0, got {cap}")
+        self.cap = int(cap)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        try:
+            value = super().__getitem__(key)
+        except KeyError:
+            return default
+        self.move_to_end(key)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.cap:
+            self.popitem(last=False)
+
+
+_TOPOLOGIES: _LRUDict = _LRUDict(TOPOLOGY_CACHE_CAP)
+_MODELS: _LRUDict = _LRUDict(TOPOLOGY_CACHE_CAP)
+_PLACEMENTS: _LRUDict = _LRUDict(PLACEMENT_CACHE_CAP)
 
 
 def cached_topology(preset: str, *args: int) -> Topology:
@@ -55,7 +224,9 @@ def cached_topology(preset: str, *args: int) -> Topology:
     key = (preset, args)
     topo = _TOPOLOGIES.get(key)
     if topo is None:
-        topo = _TOPOLOGIES[key] = factory(*args)
+        topo = factory(*args)
+        _TOPOLOGIES.put(key, topo)
+        _bump("topology_build")
     return topo
 
 
@@ -65,7 +236,10 @@ def cached_distance_model(
     """A shared :class:`DistanceModel` over :func:`cached_topology`.
 
     *costs* selects a table from :data:`COST_TABLES` (``"default"`` or
-    ``"cluster"``).
+    ``"cluster"``).  When the parent process published the model's
+    tables into shared memory (see :mod:`repro.exec.shm`), the model is
+    assembled zero-copy from read-only views instead of re-running the
+    O(P²) LCA sweep.
     """
     try:
         table = COST_TABLES[costs]
@@ -75,9 +249,28 @@ def cached_distance_model(
         ) from None
     key = (preset, args, costs)
     model = _MODELS.get(key)
-    if model is None:
-        topo = cached_topology(preset, *args)
-        model = _MODELS[key] = DistanceModel(topo, level_costs=dict(table))
+    if model is not None:
+        return model
+    topo = cached_topology(preset, *args)
+    tables = None
+    if cache_enabled():
+        from repro.exec import shm
+
+        tables = shm.attach_tables(shm.shm_key(preset, args, costs))
+    if tables is not None:
+        model = DistanceModel.from_tables(
+            topo,
+            tables["lca_depth"],
+            tables["lca_type"],
+            level_costs=dict(table),
+            lat_table=tables["lat_table"],
+            bw_table=tables["bw_table"],
+        )
+        _bump("model_shm_attach")
+    else:
+        model = DistanceModel(topo, level_costs=dict(table))
+        _bump("model_build")
+    _MODELS.put(key, model)
     return model
 
 
@@ -92,9 +285,295 @@ def machine_inputs(
     return model.topo, model
 
 
+def normalize_machine_spec(spec: Any) -> tuple[str, tuple, str]:
+    """Normalize a machine spec to ``(preset, args, costs)``.
+
+    Accepted shapes: ``"paper"``, ``("paper",)``,
+    ``("paper-smp", (24, 8))``, ``("paper-smp", (24, 8), "default")``.
+    This is the key format of :attr:`SweepRunner.shared_topologies`.
+    """
+    if isinstance(spec, str):
+        return spec, (), "default"
+    spec = tuple(spec)
+    if not spec or not isinstance(spec[0], str) or len(spec) > 3:
+        raise ValidationError(f"bad machine spec {spec!r}")
+    preset = spec[0]
+    args = tuple(spec[1]) if len(spec) > 1 else ()
+    costs = spec[2] if len(spec) > 2 else "default"
+    return preset, args, costs
+
+
 def clear_cache() -> Optional[int]:
-    """Drop all cached objects; returns how many were dropped."""
-    n = len(_TOPOLOGIES) + len(_MODELS)
+    """Drop all in-process cached objects; returns how many were dropped."""
+    n = len(_TOPOLOGIES) + len(_MODELS) + len(_PLACEMENTS)
     _TOPOLOGIES.clear()
     _MODELS.clear()
+    _PLACEMENTS.clear()
     return n
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints and digests
+# ---------------------------------------------------------------------------
+
+
+def topology_fingerprint(topo: Topology) -> str:
+    """Content sha-256 of a topology (via its canonical serialized form).
+
+    Cached on the instance: computing it walks the whole tree once, and
+    the placement memo consults it per ``tree_match`` call.
+    """
+    cached = getattr(topo, "_cache_fingerprint", None)
+    if cached is not None:
+        return cached
+    payload = json.dumps(
+        _topology_to_dict(topo), sort_keys=True, separators=(",", ":")
+    )
+    fp = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    topo._cache_fingerprint = fp
+    return fp
+
+
+def matrix_digest(matrix: Union["CommMatrix", np.ndarray]) -> str:
+    """Content sha-256 of a communication matrix (values, shape, labels).
+
+    Flipping any single cell flips the digest, so a memoized placement
+    can never be served for a different communication pattern.
+    """
+    values = np.ascontiguousarray(
+        np.asarray(getattr(matrix, "values", matrix), dtype=np.float64)
+    )
+    h = hashlib.sha256()
+    h.update(repr(values.shape).encode("utf-8"))
+    h.update(values.tobytes())
+    for label in getattr(matrix, "labels", ()):
+        h.update(b"\x1f")
+        h.update(str(label).encode("utf-8"))
+    return h.hexdigest()
+
+
+def placement_key(topo: Topology, matrix: "CommMatrix", **params: Any) -> str:
+    """The placement memo key: topology ⊕ matrix ⊕ algorithm params."""
+    h = hashlib.sha256()
+    h.update(CACHE_SCHEMA_VERSION.encode("utf-8"))
+    h.update(b"|placement|")
+    h.update(topology_fingerprint(topo).encode("utf-8"))
+    h.update(matrix_digest(matrix).encode("utf-8"))
+    h.update(repr(sorted(params.items())).encode("utf-8"))
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# On-disk payloads (shared by the placement memo and the point cache)
+# ---------------------------------------------------------------------------
+
+
+def _disk_load(path: Path, key: str) -> Optional[tuple[Any]]:
+    """Load one payload; returns ``(value,)`` or ``None`` on any defect.
+
+    Wrong schema, wrong key, sha mismatch, truncation, unpicklable
+    garbage, missing file — all read as a miss; the caller recomputes.
+    """
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("key") != key
+        ):
+            return None
+        blob = payload["blob"]
+        if hashlib.sha256(blob).hexdigest() != payload["sha256"]:
+            return None
+        return (pickle.loads(blob),)
+    except Exception:
+        return None
+
+
+def _disk_store(path: Path, key: str, value: Any) -> bool:
+    """Write one payload atomically; best-effort (failure = no cache)."""
+    try:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+            "blob": blob,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return True
+    except Exception:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Tier 1: the placement memo
+# ---------------------------------------------------------------------------
+
+
+def cached_tree_match(
+    topo: Topology,
+    matrix: "CommMatrix",
+    n_control: int = 0,
+    control_pairing: Optional[Sequence[int]] = None,
+    control_volume: Optional[float] = None,
+    strategy: str = "auto",
+    refine: bool = True,
+    allowed: Optional["CpuSet"] = None,
+) -> "TreeMatchResult":
+    """Memoized :func:`repro.treematch.tree_match`.
+
+    Placement depends only on the topology, the communication matrix,
+    and the algorithm parameters — never on the simulation seed — so a
+    replicated sweep asks for the same mapping once per seed.  Hits are
+    served from an in-process LRU, then from the on-disk store under
+    :func:`cache_dir` (when configured); misses run the algorithm and
+    populate both.  Disabled (a pure pass-through) under
+    ``REPRO_CACHE=off``.
+    """
+    from repro.treematch.algorithm import tree_match
+
+    if not cache_enabled():
+        return tree_match(
+            topo,
+            matrix,
+            n_control=n_control,
+            control_pairing=control_pairing,
+            control_volume=control_volume,
+            strategy=strategy,
+            refine=refine,
+            allowed=allowed,
+        )
+    key = placement_key(
+        topo,
+        matrix,
+        n_control=int(n_control),
+        control_pairing=(
+            None if control_pairing is None else tuple(control_pairing)
+        ),
+        control_volume=control_volume,
+        strategy=str(strategy),
+        refine=bool(refine),
+        allowed=None if allowed is None else repr(allowed),
+    )
+    result = _PLACEMENTS.get(key)
+    if result is not None:
+        _bump("placement_hit")
+        return result
+    root = cache_dir()
+    path = None
+    if root is not None:
+        path = Path(root) / "placements" / key[:2] / f"{key}.pkl"
+        loaded = _disk_load(path, key)
+        if loaded is not None:
+            _bump("placement_disk_hit")
+            _PLACEMENTS.put(key, loaded[0])
+            return loaded[0]
+    _bump("placement_miss")
+    result = tree_match(
+        topo,
+        matrix,
+        n_control=n_control,
+        control_pairing=control_pairing,
+        control_volume=control_volume,
+        strategy=strategy,
+        refine=refine,
+        allowed=allowed,
+    )
+    _PLACEMENTS.put(key, result)
+    if path is not None:
+        _disk_store(path, key, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Tier 3: the content-addressed point cache
+# ---------------------------------------------------------------------------
+
+
+def point_key(fn: Callable[..., Any], kwargs: dict[str, Any]) -> str:
+    """Content address of one sweep point: function ⊕ kwargs ⊕ schema.
+
+    The seed is part of *kwargs*, so every replicate has its own key;
+    so do flags like ``fingerprint`` or ``engine_mode`` that change
+    what the point computes.
+    """
+    h = hashlib.sha256()
+    h.update(CACHE_SCHEMA_VERSION.encode("utf-8"))
+    h.update(b"|point|")
+    h.update(f"{fn.__module__}.{fn.__qualname__}".encode("utf-8"))
+    for name in sorted(kwargs):
+        h.update(b"\x1f")
+        h.update(name.encode("utf-8"))
+        h.update(b"=")
+        h.update(repr(kwargs[name]).encode("utf-8"))
+    return h.hexdigest()
+
+
+class PointCache:
+    """Content-addressed on-disk store of whole sweep-point results.
+
+    Layout: ``root/<key[:2]>/<key>.pkl``, one verified pickle payload
+    per point (see the module docstring for the corruption contract).
+    ``hits`` / ``misses`` / ``stores`` count this instance's traffic;
+    the process-wide counters get ``point_hit`` / ``point_miss`` too.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_of(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        loaded = _disk_load(self.path_of(key), key)
+        if loaded is None:
+            self.misses += 1
+            _bump("point_miss")
+            return None
+        self.hits += 1
+        _bump("point_hit")
+        return loaded[0]
+
+    def put(self, key: str, value: Any) -> bool:
+        ok = _disk_store(self.path_of(key), key, value)
+        if ok:
+            self.stores += 1
+        return ok
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __repr__(self) -> str:
+        return f"<PointCache {self.root} hits={self.hits} misses={self.misses}>"
+
+
+def default_point_cache() -> Optional[PointCache]:
+    """The env-configured point cache (``None`` when disk tiers are off)."""
+    root = cache_dir()
+    if root is None:
+        return None
+    return PointCache(Path(root) / "points")
+
+
+def resolve_point_cache(arg: Any) -> Optional[PointCache]:
+    """Resolve an experiment's ``point_cache`` argument.
+
+    ``None`` (and ``True``) mean "the environment default" —
+    :func:`default_point_cache`; ``False`` forces the cache off
+    regardless of environment (benchmarks measuring cold walls use
+    this); a :class:`PointCache` instance passes through as-is.
+    """
+    if arg is False:
+        return None
+    if arg is None or arg is True:
+        return default_point_cache()
+    return arg

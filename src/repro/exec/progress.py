@@ -26,12 +26,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Event kinds, in the order a healthy sweep emits them.  ``worker_crash``,
 #: ``retry`` and ``serial_fallback`` only appear on the resilience path;
+#: ``cache_stats`` fires once before ``sweep_end`` when any caching
+#: tier saw traffic (``detail`` holds ``key=count`` pairs aggregated
+#: over the parent and every worker — see :mod:`repro.exec.cache`);
 #: ``point_stats`` is emitted by :mod:`repro.stats.sweep` after a
 #: replicated sweep aggregates one point (one event per point, after
 #: ``sweep_end``; ``label`` is the point label, ``detail`` the
 #: rendered :class:`~repro.stats.aggregate.SeedStats`).  In a
 #: replicated sweep each replicate is its own task, so ``point_done``
-#: fires once per replicate with a ``label#s<r>`` suffix.
+#: fires once per replicate with a ``label#s<r>`` suffix; replicates
+#: served by the point cache carry ``detail="cached"``.
 SWEEP_EVENT_KINDS = (
     "sweep_start",
     "point_done",
@@ -39,6 +43,7 @@ SWEEP_EVENT_KINDS = (
     "worker_crash",
     "retry",
     "serial_fallback",
+    "cache_stats",
     "sweep_end",
     "point_stats",
 )

@@ -33,6 +33,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
+from repro.exec import cache as cache_mod
 from repro.exec.progress import ProgressCallback, SweepEvent
 from repro.util.validate import ValidationError
 
@@ -88,12 +89,19 @@ class Task:
     4096-core point is dispatched alone instead of serialized behind
     three others in the same chunk.  Weights affect only chunk
     boundaries, never results or their order.
+
+    *cache_key* is the task's content address (see
+    :func:`repro.exec.cache.point_key`); when the runner carries a
+    :class:`~repro.exec.cache.PointCache`, keyed tasks are served from
+    it instead of being dispatched, and computed results are stored
+    back.  ``None`` opts the task out.
     """
 
     fn: Callable[..., Any]
     kwargs: dict[str, Any] = field(default_factory=dict)
     label: str = ""
     weight: float = 1.0
+    cache_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.weight > 0:
@@ -107,15 +115,24 @@ class Task:
 _MISSING = object()
 
 
-def _run_chunk(items: list[tuple[int, Callable, dict]]) -> list[tuple[int, Any]]:
-    """Worker body: run one chunk, return ``(index, result)`` pairs.
+def _run_chunk(
+    items: list[tuple[int, Callable, dict]],
+) -> tuple[list[tuple[int, Any]], dict[str, int]]:
+    """Worker body: run one chunk, return ``(index, result)`` pairs plus
+    the chunk's cache-counter delta.
 
-    Runs in the worker process; anything it raises is pickled back and
-    re-raised from the future (worker stays alive).  A worker *dying*
-    instead (os._exit, segfault, OOM kill) surfaces in the parent as
+    Cache hits (placement memo, shared-memory attaches) happen inside
+    worker processes, invisible to the parent; snapshotting the
+    counters around the chunk and shipping the delta home is what lets
+    the parent aggregate sweep-wide hit rates.  Runs in the worker
+    process; anything it raises is pickled back and re-raised from the
+    future (worker stays alive).  A worker *dying* instead (os._exit,
+    segfault, OOM kill) surfaces in the parent as
     :class:`BrokenProcessPool`.
     """
-    return [(index, fn(**kwargs)) for index, fn, kwargs in items]
+    before = cache_mod.cache_stats()
+    pairs = [(index, fn(**kwargs)) for index, fn, kwargs in items]
+    return pairs, cache_mod.stats_delta(before)
 
 
 class SweepRunner:
@@ -145,6 +162,17 @@ class SweepRunner:
         ``multiprocessing`` start-method name (default ``"fork"`` where
         available — workers inherit imported modules, so dispatch cost
         stays in the milliseconds; ``"spawn"`` elsewhere).
+    point_cache:
+        Optional :class:`~repro.exec.cache.PointCache`.  Tasks carrying
+        a ``cache_key`` are looked up before dispatch (hits fill their
+        result slot without running anything) and stored after.
+    shared_topologies:
+        Machine specs (see
+        :func:`repro.exec.cache.normalize_machine_spec`) whose
+        :class:`~repro.topology.distance.DistanceModel` tables the
+        parent exports into shared memory before opening the pool, so
+        workers attach read-only views instead of rebuilding them.
+        Ignored on the serial path and under ``REPRO_CACHE=off``.
     """
 
     def __init__(
@@ -155,6 +183,8 @@ class SweepRunner:
         serial_fallback: bool = True,
         on_event: Optional[ProgressCallback] = None,
         mp_context: Optional[str] = None,
+        point_cache: Optional[cache_mod.PointCache] = None,
+        shared_topologies: Sequence[Any] = (),
     ) -> None:
         self.n_workers = resolve_workers(n_workers)
         if chunk_size is not None and chunk_size <= 0:
@@ -169,6 +199,8 @@ class SweepRunner:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
         self.mp_context = mp_context
+        self.point_cache = point_cache
+        self.shared_topologies = list(shared_topologies)
         #: diagnostics from the last :meth:`map` call.
         self.last_stats: dict[str, Any] = {}
 
@@ -253,38 +285,151 @@ class SweepRunner:
     # -- the public entry point --------------------------------------------
 
     def map(self, tasks: Sequence[Task]) -> list[Any]:
-        """Run all *tasks*; return their results in input order."""
+        """Run all *tasks*; return their results in input order.
+
+        With a :attr:`point_cache`, keyed tasks whose results are
+        already stored fill their slots up front (one ``point_done``
+        with ``detail="cached"`` each) and only the misses are
+        dispatched; fresh results are stored back afterwards.  Cache
+        counters from the parent *and* the workers land in
+        ``last_stats["cache"]`` and one ``cache_stats`` event.
+        """
         tasks = list(tasks)
         total = len(tasks)
         t0 = time.perf_counter()
         results: list[Any] = [_MISSING] * total
+        stats_before = cache_mod.cache_stats()
+        hits = self._prefill_from_cache(tasks, results)
+        todo = [i for i in range(total) if results[i] is _MISSING]
+        mode = "serial" if self.n_workers <= 1 or len(todo) <= 1 else "parallel"
         self.last_stats = {
             "n_tasks": total,
             "n_workers": self.n_workers,
             "crashes": 0,
             "serial_fallback": False,
-            "mode": "serial" if self.n_workers <= 1 or total <= 1 else "parallel",
+            "mode": mode,
+            "cached_points": len(hits),
         }
         self._emit(
             "sweep_start", t0, total=total,
-            detail=f"workers={self.n_workers} mode={self.last_stats['mode']}",
+            detail=f"workers={self.n_workers} mode={mode}"
+            + (f" cached={len(hits)}" if hits else ""),
         )
+        for done, i in enumerate(hits, 1):
+            self._emit(
+                "point_done", t0, index=i, done=done, total=total,
+                label=tasks[i].label, detail="cached",
+            )
 
-        if self.last_stats["mode"] == "serial":
-            self._run_serial(tasks, results, t0, total)
-        else:
-            self._map_parallel(tasks, results, t0, total)
+        worker_stats: dict[str, int] = {}
+        if todo:
+            if mode == "serial":
+                self._run_serial(tasks, results, t0, total)
+            else:
+                worker_stats = self._map_parallel(tasks, results, t0, total, todo)
+        self._store_to_cache(tasks, results, todo)
 
+        cache_totals = cache_mod.stats_delta(stats_before)
+        cache_mod.merge_stats(cache_totals, worker_stats)
+        if cache_totals:
+            self.last_stats["cache"] = dict(cache_totals)
+            self._emit(
+                "cache_stats", t0, done=total, total=total,
+                detail=" ".join(
+                    f"{k}={v}" for k, v in sorted(cache_totals.items())
+                ),
+            )
         self.last_stats["wall_s"] = time.perf_counter() - t0
         self._emit("sweep_end", t0, done=total, total=total)
         assert not any(r is _MISSING for r in results)
         return results
 
+    def _prefill_from_cache(
+        self, tasks: Sequence[Task], results: list
+    ) -> list[int]:
+        """Fill slots served by the point cache; returns the hit indices."""
+        if self.point_cache is None:
+            return []
+        hits: list[int] = []
+        for i, task in enumerate(tasks):
+            if not task.cache_key:
+                continue
+            value = self.point_cache.get(task.cache_key)
+            if value is None:
+                continue
+            results[i] = value
+            hits.append(i)
+        return hits
+
+    def _store_to_cache(
+        self, tasks: Sequence[Task], results: list, todo: Sequence[int]
+    ) -> None:
+        """Store this run's freshly computed keyed results."""
+        if self.point_cache is None:
+            return
+        for i in todo:
+            if tasks[i].cache_key and results[i] is not _MISSING:
+                self.point_cache.put(tasks[i].cache_key, results[i])
+
+    def _export_shared_topologies(self):
+        """Publish DistanceModel tables for the pool (or ``None``).
+
+        Builds each requested model in the parent (warming its own
+        cache as a side effect) and exports the tables; any shared-
+        memory-level failure (``/dev/shm`` full, no implementation)
+        degrades to workers building their own models.
+        """
+        if not self.shared_topologies or not cache_mod.cache_enabled():
+            return None
+        from repro.exec import shm
+
+        specs = [
+            cache_mod.normalize_machine_spec(s) for s in self.shared_topologies
+        ]
+        store = shm.SharedTopologyStore()
+        try:
+            for preset, args, costs in specs:
+                model = cache_mod.cached_distance_model(
+                    preset, *args, costs=costs
+                )
+                store.export_model(shm.shm_key(preset, args, costs), model)
+            store.publish()
+        except (OSError, ValueError, MemoryError):
+            store.close()
+            return None
+        return store
+
     def _map_parallel(
-        self, tasks: Sequence[Task], results: list, t0: float, total: int
+        self,
+        tasks: Sequence[Task],
+        results: list,
+        t0: float,
+        total: int,
+        todo: Sequence[int],
+    ) -> dict[str, int]:
+        worker_stats: dict[str, int] = {}
+        store = self._export_shared_topologies()
+        try:
+            self._pool_loop(tasks, results, t0, total, todo, worker_stats)
+        finally:
+            if store is not None:
+                store.close()
+        return worker_stats
+
+    def _pool_loop(
+        self,
+        tasks: Sequence[Task],
+        results: list,
+        t0: float,
+        total: int,
+        todo: Sequence[int],
+        worker_stats: dict[str, int],
     ) -> None:
         ctx = multiprocessing.get_context(self.mp_context)
-        pending = self._chunk_indices(total, [t.weight for t in tasks])
+        positions = self._chunk_indices(
+            len(todo), [tasks[i].weight for i in todo]
+        )
+        pending = [[todo[p] for p in chunk] for chunk in positions]
         crashes = 0
         while pending:
             try:
@@ -302,7 +447,9 @@ class SweepRunner:
                     while not_done:
                         done_set, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                         for fut in done_set:
-                            for i, value in fut.result():
+                            pairs, delta = fut.result()
+                            cache_mod.merge_stats(worker_stats, delta)
+                            for i, value in pairs:
                                 results[i] = value
                                 ndone = sum(1 for r in results if r is not _MISSING)
                                 self._emit(

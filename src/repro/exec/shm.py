@@ -1,0 +1,204 @@
+"""Zero-copy shared-memory export of :class:`DistanceModel` tables.
+
+A ``DistanceModel`` is dominated by two P × P tables (int16 LCA depths,
+int8 LCA types) plus two flat per-level cost tables.  On the generated
+mega-presets (512 sockets / 4096 PUs) that is tens of MB per process —
+and every pool worker used to rebuild them from scratch under ``spawn``
+or after an LRU eviction.
+
+The parent of a parallel sweep exports each model's tables once into
+:mod:`multiprocessing.shared_memory` segments and publishes a manifest
+(segment names, shapes, dtypes) through the ``REPRO_SHM_MANIFEST``
+environment variable, which both ``fork`` and ``spawn`` workers
+inherit.  Workers attach the segments and wrap them in **read-only**
+numpy views; :func:`repro.exec.cache.cached_distance_model` assembles a
+model around them via :meth:`DistanceModel.from_tables` — zero copies,
+no O(P²) LCA sweep, one physical copy of the tables machine-wide.
+
+Lifecycle: the parent's :class:`SharedTopologyStore` owns the segments
+— it creates, publishes, and finally closes *and unlinks* them (an
+``atexit`` hook guarantees this even on crashes).  Workers only ever
+attach and close; a worker dying mid-task can therefore never leak a
+segment (``tests/test_exec.py`` pins this).  Attach failures of any
+kind — manifest gone, segment unlinked, size mismatch — degrade to a
+normal in-process rebuild, never an error.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+from multiprocessing import shared_memory
+from typing import Any, Optional
+
+import numpy as np
+
+#: Environment variable carrying the published manifest (JSON).
+ENV_MANIFEST = "REPRO_SHM_MANIFEST"
+
+#: DistanceModel attributes exported per model, in manifest order.
+TABLE_NAMES = ("lca_depth", "lca_type", "lat_table", "bw_table")
+
+#: Worker-side attachment cache: key -> (views, segments).  Keeping the
+#: ``SharedMemory`` objects referenced keeps the mapped buffers alive
+#: for as long as the views are.
+_ATTACHED: dict[str, tuple[dict[str, np.ndarray], list]] = {}
+
+#: Segment names created by this process (or inherited from a forking
+#: parent).  Attaches to owned segments keep their resource-tracker
+#: registration — the owner's unlink will unregister them exactly once.
+_OWNED_NAMES: set[str] = set()
+
+
+def shm_key(preset: str, args: tuple = (), costs: str = "default") -> str:
+    """Manifest key of one machine spec (mirrors the model cache key)."""
+    return f"{preset}|{','.join(str(a) for a in args)}|{costs}"
+
+
+class SharedTopologyStore:
+    """Parent-side owner of exported shared-memory table segments.
+
+    Usable as a context manager; :meth:`close` is idempotent and also
+    registered with ``atexit``, so segments are unlinked no matter how
+    the sweep ends.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.manifest: dict[str, dict[str, Any]] = {}
+        self._published = False
+        atexit.register(self.close)
+
+    def export_model(self, key: str, model: Any) -> None:
+        """Copy one model's tables into fresh segments under *key*."""
+        if key in self.manifest:
+            return
+        entry: dict[str, Any] = {}
+        for name in TABLE_NAMES:
+            arr = np.ascontiguousarray(getattr(model, f"_{name}"))
+            seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+            self._segments.append(seg)
+            _OWNED_NAMES.add(seg.name)
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+            view[:] = arr
+            entry[name] = {
+                "segment": seg.name,
+                "shape": list(arr.shape),
+                "dtype": str(arr.dtype),
+            }
+        self.manifest[key] = entry
+
+    def publish(self) -> None:
+        """Make the manifest visible to (future) worker processes."""
+        os.environ[ENV_MANIFEST] = json.dumps(self.manifest, sort_keys=True)
+        self._published = True
+
+    def close(self) -> None:
+        """Unpublish, close, and unlink every owned segment (idempotent)."""
+        if self._published:
+            os.environ.pop(ENV_MANIFEST, None)
+            self._published = False
+        segments, self._segments = self._segments, []
+        self.manifest = {}
+        for seg in segments:
+            _OWNED_NAMES.discard(seg.name)
+            try:
+                seg.close()
+            except Exception:
+                pass
+            try:
+                seg.unlink()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SharedTopologyStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def _load_manifest() -> dict[str, dict[str, Any]]:
+    raw = os.environ.get(ENV_MANIFEST)
+    if not raw:
+        return {}
+    try:
+        manifest = json.loads(raw)
+        return manifest if isinstance(manifest, dict) else {}
+    except Exception:
+        return {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker ownership.
+
+    Non-owning processes must not leave the segment registered with
+    their resource tracker: a ``spawn`` worker's private tracker would
+    otherwise unlink it on worker exit, destroying it under the parent
+    (the classic attach-registers problem before Python 3.13's
+    ``track=False``).  Owned names (created here, or inherited by
+    ``fork`` — where the tracker itself is shared and registration is
+    idempotent) keep their registration so the owner's unlink balances
+    it exactly once.
+    """
+    if name in _OWNED_NAMES:
+        return shared_memory.SharedMemory(name=name)
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(seg._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+        return seg
+
+
+def attach_tables(key: str) -> Optional[dict[str, np.ndarray]]:
+    """Read-only views of the published tables under *key*, or ``None``.
+
+    ``None`` means "build locally": no manifest, unknown key, or the
+    segments are already gone.  Successful attachments are cached per
+    process, so repeated model constructions share one mapping.
+    """
+    cached = _ATTACHED.get(key)
+    if cached is not None:
+        return cached[0]
+    entry = _load_manifest().get(key)
+    if entry is None:
+        return None
+    views: dict[str, np.ndarray] = {}
+    segments: list[shared_memory.SharedMemory] = []
+    try:
+        for name in TABLE_NAMES:
+            spec = entry[name]
+            seg = _attach_segment(spec["segment"])
+            segments.append(seg)
+            view: np.ndarray = np.ndarray(
+                tuple(spec["shape"]), dtype=np.dtype(spec["dtype"]), buffer=seg.buf
+            )
+            view.flags.writeable = False
+            views[name] = view
+    except Exception:
+        for seg in segments:
+            try:
+                seg.close()
+            except Exception:
+                pass
+        return None
+    _ATTACHED[key] = (views, segments)
+    return views
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (tests; workers just exit)."""
+    for _views, segments in _ATTACHED.values():
+        for seg in segments:
+            try:
+                seg.close()
+            except Exception:
+                pass
+    _ATTACHED.clear()

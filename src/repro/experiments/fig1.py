@@ -20,7 +20,7 @@ the three scalar claims as factor bands.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.comm.patterns import square_grid_shape
 from repro.exec.cache import machine_inputs
@@ -438,6 +438,8 @@ def run_fig1(
     seeds: int = 1,
     confidence: float = 0.95,
     engine_mode: Optional[str] = None,
+    point_cache: Any = None,
+    shared_topologies: Optional[Sequence[Any]] = None,
 ) -> Fig1Result:
     """The full Figure-1 sweep.
 
@@ -461,7 +463,21 @@ def run_fig1(
     *confidence* plus all replicate points — see
     :meth:`Fig1Result.stats_table` and
     :meth:`Fig1Result.speedup_verdicts`.
+
+    *point_cache* selects the content-addressed result cache
+    (:func:`repro.exec.cache.resolve_point_cache`: ``None`` = the
+    environment default, ``False`` = off); re-running a cached sweep
+    only simulates points not stored yet, bit-identically.
+    *shared_topologies* overrides the machine specs whose distance
+    tables parallel sweeps export into shared memory (default: every
+    swept machine shape).
     """
+    if shared_topologies is None:
+        # run_point builds "paper-smp" machines at its default socket
+        # width; export exactly those shapes for the pool workers.
+        shared_topologies = [
+            ("paper-smp", (c // 8, 8), "default") for c in core_counts
+        ]
     result = Fig1Result(iterations=iterations, n=n, n_seeds=seeds)
     specs = [
         ReplicateSpec(
@@ -490,6 +506,8 @@ def run_fig1(
         confidence=confidence,
         runner=runner,
         n_workers=n_workers,
+        point_cache=point_cache,
+        shared_topologies=shared_topologies,
     )
     for point in sweep.points:
         result.points.append(point.first)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.comm.patterns import square_grid_shape
 from repro.exec.cache import machine_inputs
@@ -446,6 +446,7 @@ def run_scaling(
     n_workers: int = 1,
     runner: Optional[SweepRunner] = None,
     perf_report: bool = False,
+    point_cache: Any = None,
 ) -> ScalingResult:
     """The full machine-size sweep.
 
@@ -458,6 +459,14 @@ def run_scaling(
     Each replicate task carries the machine's PU count as its weight,
     so the runner's chunker dispatches 4096-core points alone instead
     of queueing light points behind them.
+
+    Parallel sweeps export every swept machine's distance tables into
+    shared memory (workers attach read-only views — on the 4096-PU
+    preset that is the difference between one table and one per
+    worker); *point_cache* follows
+    :func:`repro.exec.cache.resolve_point_cache` (``None`` = the
+    environment default, ``False`` = off), making nightly re-runs
+    incremental.
     """
     for impl in implementations:
         if impl not in IMPLEMENTATIONS:
@@ -499,6 +508,8 @@ def run_scaling(
         confidence=confidence,
         runner=runner,
         n_workers=n_workers,
+        point_cache=point_cache,
+        shared_topologies=[(preset, (), "default") for preset, _ in sized],
     )
     for point in sweep.points:
         result.points.append(point.first)

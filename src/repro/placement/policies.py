@@ -26,9 +26,10 @@ import abc
 from typing import Optional, Sequence
 
 from repro.comm.matrix import CommMatrix
+from repro.exec.cache import cached_tree_match
 from repro.topology.query import distribute
 from repro.topology.tree import Topology
-from repro.treematch.algorithm import TreeMatchResult, tree_match
+from repro.treematch.algorithm import TreeMatchResult
 from repro.treematch.mapping import Mapping
 from repro.util.rng import SeedLike, make_rng
 from repro.util.validate import ValidationError
@@ -161,7 +162,10 @@ class TreeMatchPolicy(PlacementPolicy):
             raise ValidationError(
                 f"matrix order {matrix.order} != n_threads {n_threads}"
             )
-        result = tree_match(
+        # The memoized front end of tree_match: placement is seed-free,
+        # so replicated sweeps derive each mapping once (see
+        # repro.exec.cache; a pure pass-through under REPRO_CACHE=off).
+        result = cached_tree_match(
             topo,
             matrix,
             n_control=self.n_control,

@@ -20,6 +20,11 @@ a performance trajectory across commits.  Sections:
   determinism fingerprints.
 * ``treematch`` — Algorithm 1 wall time per matrix order (the
   launch-time mapping must stay cheap).
+* ``cache`` — the content-addressed sweep cache: the same replicated
+  sweep run cold (empty store) and warm (fully populated), with both
+  walls, the warm speedup, per-run hit/miss/store counters, and a
+  bit-identity verdict between the cold and cached results.  Skipped
+  under ``--no-cache``.
 
 Usage::
 
@@ -41,6 +46,7 @@ from repro.exec.runner import SweepRunner, resolve_workers
 from repro.experiments.ablations import treematch_cost_curve
 from repro.experiments.fig1 import run_fig1
 from repro.simulate.engine import Engine, SimEvent
+from repro.tools._cache_args import add_cache_arguments, apply_cache_arguments
 from repro.topology import presets
 
 
@@ -140,12 +146,18 @@ def bench_fig1(
     and pairwise speedup-significance verdicts, so the BENCH trajectory
     records spread, not just point estimates.  Bit-identity is checked
     across *all* replicates of both sweeps.
+
+    ``point_cache=False`` on both sweeps: this section measures *cold*
+    simulation walls, so the content-addressed point cache must not
+    serve the parallel run the serial run's results (the cached path
+    has its own section, ``cache``).
     """
     serial_runner = SweepRunner(n_workers=1)
     t0 = time.perf_counter()
     serial = run_fig1(
         core_counts=core_counts, iterations=iterations, n=n, seed=seed,
         fingerprint=True, runner=serial_runner, seeds=seeds,
+        point_cache=False,
     )
     serial_wall = time.perf_counter() - t0
 
@@ -154,6 +166,7 @@ def bench_fig1(
     parallel = run_fig1(
         core_counts=core_counts, iterations=iterations, n=n, seed=seed,
         fingerprint=True, runner=parallel_runner, seeds=seeds,
+        point_cache=False,
     )
     parallel_wall = time.perf_counter() - t0
 
@@ -212,6 +225,75 @@ def bench_treematch(orders: tuple[int, ...]) -> dict[str, Any]:
     """Algorithm 1 cost per matrix order."""
     curve = treematch_cost_curve(orders=orders)
     return {"orders": list(orders), "seconds": [s for _, s in curve]}
+
+
+def bench_sweep_cache(
+    core_counts: tuple[int, ...], iterations: int, n: int, seed: int,
+    seeds: int = 5,
+) -> dict[str, Any]:
+    """Cold vs warm replicated sweep through the content-addressed cache.
+
+    Runs the same serial Figure-1 sweep twice against one throwaway
+    on-disk :class:`~repro.exec.cache.PointCache`: first cold (every
+    point is a miss and gets stored), then warm (every point is served
+    from the store without simulating).  The warm results must be
+    byte-for-byte the cold ones — the determinism fingerprints pin it —
+    and the warm wall is the incremental-rerun headline the cache gate
+    (``benchmarks/bench_sweep_cache.py``) holds at >= 5x.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.exec.cache import PointCache
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        cold_cache = PointCache(tmp / "points")
+        t0 = time.perf_counter()
+        cold = run_fig1(
+            core_counts=core_counts, iterations=iterations, n=n, seed=seed,
+            fingerprint=True, n_workers=1, seeds=seeds,
+            point_cache=cold_cache,
+        )
+        cold_wall = time.perf_counter() - t0
+
+        warm_cache = PointCache(tmp / "points")
+        t0 = time.perf_counter()
+        warm = run_fig1(
+            core_counts=core_counts, iterations=iterations, n=n, seed=seed,
+            fingerprint=True, n_workers=1, seeds=seeds,
+            point_cache=warm_cache,
+        )
+        warm_wall = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    cold_reps = [p for reps in cold.replicates.values() for p in reps]
+    warm_reps = [p for reps in warm.replicates.values() for p in reps]
+    identical = [
+        (a.implementation, a.n_cores) == (b.implementation, b.n_cores)
+        and a.time == b.time
+        and a.fingerprint == b.fingerprint
+        for a, b in zip(cold_reps, warm_reps)
+    ]
+    warm_lookups = warm_cache.hits + warm_cache.misses
+    return {
+        "core_counts": list(core_counts),
+        "iterations": iterations,
+        "n": n,
+        "seeds": seeds,
+        "n_runs": len(cold_reps),
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "warm_speedup": cold_wall / warm_wall if warm_wall > 0 else 0.0,
+        "cold_stats": cold_cache.stats(),
+        "warm_stats": warm_cache.stats(),
+        "warm_hit_rate": (
+            warm_cache.hits / warm_lookups if warm_lookups else 0.0
+        ),
+        "bit_identical": all(identical) and len(identical) == len(cold_reps),
+    }
 
 
 def compare_reports(
@@ -309,7 +391,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="gate tolerance: fail when a mean exceeds the "
                              "baseline CI upper bound by more than this "
                              "fraction (default 0.25)")
+    add_cache_arguments(parser)
     args = parser.parse_args(argv)
+    apply_cache_arguments(args)
 
     if args.quick:
         engine_events = 200_000
@@ -317,12 +401,14 @@ def main(argv: list[str] | None = None) -> int:
         core_counts: tuple[int, ...] = (8, 16)
         iterations, n = 2, 1024
         tm_orders: tuple[int, ...] = (16, 32, 64)
+        cache_seeds = 3
     else:
         engine_events = 2_000_000
         cohort_rounds = 1500
         core_counts = (8, 16, 32, 64)
         iterations, n = 3, 8192
         tm_orders = (16, 32, 64, 128, 256)
+        cache_seeds = 5
 
     host_cores = resolve_workers(None)
     report: dict[str, Any] = {
@@ -372,6 +458,21 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"[bench] treematch cost curve (orders={list(tm_orders)})...")
     report["treematch"] = bench_treematch(tm_orders)
+
+    if args.no_cache:
+        print("[bench] sweep cache: skipped (--no-cache)")
+    else:
+        print(f"[bench] sweep cache cold vs warm "
+              f"(cores={list(core_counts)}, seeds={cache_seeds})...")
+        report["cache"] = bench_sweep_cache(
+            core_counts, iterations, n, args.seed, seeds=cache_seeds
+        )
+        cc = report["cache"]
+        print(f"  cold: {cc['cold_wall_s']:.2f}s   "
+              f"warm: {cc['warm_wall_s']:.3f}s   "
+              f"speedup: {cc['warm_speedup']:.1f}x   "
+              f"hit rate: {cc['warm_hit_rate']:.0%}   "
+              f"bit-identical: {cc['bit_identical']}")
 
     out = args.output or time.strftime("BENCH_%Y%m%d_%H%M%S.json")
     with open(out, "w") as fh:

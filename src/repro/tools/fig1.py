@@ -14,6 +14,7 @@ import argparse
 import csv
 
 from repro.experiments.fig1 import run_fig1
+from repro.tools._cache_args import add_cache_arguments, apply_cache_arguments
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,7 +44,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace every point and write per-point perf "
                              "reports (JSON + text) and per-core-count "
                              "top-down gap attributions into DIR")
+    add_cache_arguments(parser)
     args = parser.parse_args(argv)
+    apply_cache_arguments(args)
 
     result = run_fig1(
         core_counts=tuple(args.cores),

@@ -16,6 +16,7 @@ import argparse
 
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.plotting import plot_fig1
+from repro.tools._cache_args import add_cache_arguments, apply_cache_arguments
 
 
 #: (claim id, description, paper value, extractor, band check)
@@ -65,7 +66,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="replicates per point; > 1 reports mean/CI bands "
                              "and significance verdicts on top of the "
                              "replicate-0 trajectory the claims are graded on")
+    add_cache_arguments(parser)
     args = parser.parse_args(argv)
+    apply_cache_arguments(args)
 
     print("Reproducing: Gustedt, Jeannot, Mansouri — 'Optimizing Locality by")
     print("Topology-aware Placement for a Task Based Programming Model',")

@@ -14,6 +14,7 @@ import argparse
 import json
 
 from repro.experiments.scaling import CELLS_PER_CORE, DEFAULT_PRESETS, run_scaling
+from repro.tools._cache_args import add_cache_arguments, apply_cache_arguments
 from repro.topology.generate import SCALING_SPECS
 
 
@@ -67,7 +68,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace every point and write per-point perf "
                              "reports (JSON + text) and per-preset "
                              "top-down gap attributions into DIR")
+    add_cache_arguments(parser)
     args = parser.parse_args(argv)
+    apply_cache_arguments(args)
 
     result = run_scaling(
         presets=tuple(args.preset),

@@ -182,14 +182,29 @@ def refine_swap(
     Repeatedly swaps one member between two groups when that increases
     the intra-group volume; stops at a local optimum or after
     *max_rounds* sweeps over all group pairs.
+
+    A pair whose two groups are both unchanged since it was last scored
+    is skipped: rescoring it would rebuild the identical gain matrix
+    and reach the identical no-swap verdict (had a swap been
+    profitable, it would already have been applied, changing a group
+    version).  Skipping is therefore bit-identical to the exhaustive
+    sweep — the property tests in ``tests/test_grouping.py`` pin the
+    output against the unskipped reference — while later rounds over
+    mostly-settled groups cost almost nothing.
     """
     m = check_square_matrix(m, "affinity matrix")
     groups = [list(g) for g in groups]
+    version = [0] * len(groups)
+    seen: dict[tuple[int, int], tuple[int, int]] = {}
 
     for _ in range(max_rounds):
         improved = False
         for ga in range(len(groups)):
             for gb in range(ga + 1, len(groups)):
+                state = (version[ga], version[gb])
+                if seen.get((ga, gb)) == state:
+                    continue
+                seen[ga, gb] = state
                 A, B = groups[ga], groups[gb]
                 # Vectorized swap scoring: attachment of every member to
                 # its own and to the other group in four axis-sums, then
@@ -214,6 +229,8 @@ def refine_swap(
                 ia, ib = divmod(flat, len(B))
                 if gain[ia, ib] > 1e-12:
                     A[ia], B[ib] = B[ib], A[ia]
+                    version[ga] += 1
+                    version[gb] += 1
                     improved = True
         if not improved:
             break

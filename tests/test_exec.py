@@ -10,19 +10,35 @@ from __future__ import annotations
 
 import os
 
+import numpy as np
 import pytest
 
+from repro.comm import patterns
 from repro.exec import (
     ExecError,
+    PointCache,
     SweepRunner,
     Task,
     cached_distance_model,
     cached_topology,
+    cached_tree_match,
     clear_cache,
     derive_seed,
     machine_inputs,
+    matrix_digest,
+    point_key,
     resolve_workers,
     run_sweep,
+    topology_fingerprint,
+)
+from repro.exec import shm
+from repro.exec.cache import (
+    _LRUDict,
+    TOPOLOGY_CACHE_CAP,
+    _TOPOLOGIES,
+    cache_stats,
+    placement_key,
+    stats_delta,
 )
 from repro.experiments.fig1 import Fig1Point, Fig1Result, run_fig1
 from repro.util.validate import ValidationError
@@ -227,6 +243,279 @@ class TestFig1TimeIndex:
     def test_missing_point_raises_keyerror(self):
         with pytest.raises(KeyError, match="no point"):
             Fig1Result().time_of("openmp", 8)
+
+
+def _fig1_rows(result):
+    """Every replicate as a comparable (impl, cores, time, fingerprint) row."""
+    return [
+        (p.implementation, p.n_cores, p.time, p.fingerprint)
+        for reps in result.replicates.values()
+        for p in reps
+    ]
+
+
+class TestLRUBound:
+    def test_evicts_least_recently_used(self):
+        d = _LRUDict(2)
+        d.put("a", 1)
+        d.put("b", 2)
+        assert d.get("a") == 1  # refresh "a" — "b" is now the LRU entry
+        d.put("c", 3)
+        assert "b" not in d
+        assert d.get("a") == 1 and d.get("c") == 3
+        assert len(d) == 2
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValidationError):
+            _LRUDict(0)
+
+    def test_topology_cache_stays_bounded(self):
+        clear_cache()
+        for i in range(TOPOLOGY_CACHE_CAP + 8):
+            cached_topology("paper-smp", 1, i + 1)
+        assert len(_TOPOLOGIES) == TOPOLOGY_CACHE_CAP
+        clear_cache()
+
+
+class TestPlacementMemo:
+    """Tier 1: tree_match memoized by (topology, matrix, params)."""
+
+    def _inputs(self):
+        topo = cached_topology("paper-smp", 2, 8)
+        cm = patterns.clustered(4, 4, intra_volume=50, inter_volume=1, seed=5)
+        return topo, cm
+
+    def test_digest_sensitive_to_single_cell(self):
+        m = np.array(patterns.clustered(4, 4, seed=5).values)
+        flipped = m.copy()
+        flipped[2, 3] += 1.0
+        assert matrix_digest(m) != matrix_digest(flipped)
+
+    def test_placement_key_covers_all_inputs(self):
+        topo, cm = self._inputs()
+        other_topo = cached_topology("paper-smp", 4, 4)
+        base = placement_key(topo, cm, strategy="auto")
+        assert base != placement_key(other_topo, cm, strategy="auto")
+        assert base != placement_key(topo, cm, strategy="greedy")
+        assert topology_fingerprint(topo) == topology_fingerprint(topo)
+
+    def test_memo_hit_equals_cold_computation(self, monkeypatch):
+        clear_cache()
+        topo, cm = self._inputs()
+        first = cached_tree_match(topo, cm)
+        again = cached_tree_match(topo, cm)
+        assert again is first  # in-process LRU hit
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        cold = cached_tree_match(topo, cm)  # pure pass-through
+        assert cold is not first
+        assert cold.mapping == first.mapping
+        assert cold.hierarchy == first.hierarchy
+
+    def test_disk_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        topo, cm = self._inputs()
+        before = cache_stats()
+        first = cached_tree_match(topo, cm)
+        assert stats_delta(before).get("placement_miss") == 1
+        stored = list(tmp_path.glob("placements/*/*.pkl"))
+        assert len(stored) == 1
+
+        clear_cache()  # drop the LRU so only the disk copy remains
+        before = cache_stats()
+        second = cached_tree_match(topo, cm)
+        assert stats_delta(before).get("placement_disk_hit") == 1
+        assert second.mapping == first.mapping
+
+    def test_corrupted_disk_entry_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        topo, cm = self._inputs()
+        first = cached_tree_match(topo, cm)
+        [stored] = tmp_path.glob("placements/*/*.pkl")
+        stored.write_bytes(b"not a pickle at all")
+
+        clear_cache()
+        before = cache_stats()
+        second = cached_tree_match(topo, cm)
+        # Corruption reads as a transparent miss, never an error...
+        assert stats_delta(before).get("placement_miss") == 1
+        assert second.mapping == first.mapping
+        # ...and the recomputed result replaced the damaged payload.
+        clear_cache()
+        before = cache_stats()
+        cached_tree_match(topo, cm)
+        assert stats_delta(before).get("placement_disk_hit") == 1
+
+
+class TestPointCacheSweep:
+    """Tier 3: content-addressed whole-point results."""
+
+    COMMON = dict(
+        core_counts=(8,), iterations=2, n=512, seed=3,
+        fingerprint=True, seeds=2, n_workers=1,
+    )
+
+    def test_point_key_sensitive_to_kwargs(self):
+        k1 = point_key(_square, {"x": 1})
+        assert k1 == point_key(_square, {"x": 1})
+        assert k1 != point_key(_square, {"x": 2})
+        assert k1 != point_key(_boom, {"x": 1})
+
+    def test_cached_rerun_bit_identical(self, tmp_path):
+        cold_cache = PointCache(tmp_path / "points")
+        cold = run_fig1(point_cache=cold_cache, **self.COMMON)
+        assert cold_cache.hits == 0
+        assert cold_cache.stores == cold_cache.misses > 0
+
+        warm_cache = PointCache(tmp_path / "points")
+        warm = run_fig1(point_cache=warm_cache, **self.COMMON)
+        assert warm_cache.misses == 0
+        assert warm_cache.hits == cold_cache.stores
+        assert _fig1_rows(warm) == _fig1_rows(cold)
+
+    def test_no_cache_runs_reproduce_cached_runs(self, tmp_path, monkeypatch):
+        cached = run_fig1(
+            point_cache=PointCache(tmp_path / "points"), **self.COMMON
+        )
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        uncached = run_fig1(point_cache=False, **self.COMMON)
+        assert _fig1_rows(uncached) == _fig1_rows(cached)
+
+    def test_corrupted_point_recomputed(self, tmp_path):
+        cold_cache = PointCache(tmp_path / "points")
+        cold = run_fig1(point_cache=cold_cache, **self.COMMON)
+        victim = sorted((tmp_path / "points").glob("*/*.pkl"))[0]
+        victim.write_bytes(b"\x00garbage\x00")
+
+        warm_cache = PointCache(tmp_path / "points")
+        warm = run_fig1(point_cache=warm_cache, **self.COMMON)
+        assert warm_cache.misses == 1  # exactly the damaged entry
+        assert warm_cache.hits == cold_cache.stores - 1
+        assert _fig1_rows(warm) == _fig1_rows(cold)
+
+    def test_cache_stats_event_and_cached_detail(self, tmp_path):
+        cache = PointCache(tmp_path / "points")
+        tasks = [
+            Task(_square, {"x": i}, cache_key=point_key(_square, {"x": i}))
+            for i in range(4)
+        ]
+        events = []
+        cold = SweepRunner(
+            n_workers=1, point_cache=cache, on_event=events.append
+        )
+        assert cold.map(tasks) == [0, 1, 4, 9]
+        kinds = [e.kind for e in events]
+        assert "cache_stats" in kinds
+        assert kinds.index("cache_stats") < kinds.index("sweep_end")
+        assert cold.last_stats["cache"].get("point_miss") == 4
+
+        events.clear()
+        warm = SweepRunner(
+            n_workers=1, point_cache=PointCache(tmp_path / "points"),
+            on_event=events.append,
+        )
+        assert warm.map(tasks) == [0, 1, 4, 9]
+        cached_dones = [
+            e for e in events if e.kind == "point_done" and e.detail == "cached"
+        ]
+        assert len(cached_dones) == 4
+        assert warm.last_stats["cached_points"] == 4
+        assert warm.last_stats["cache"].get("point_hit") == 4
+
+
+class TestSharedTopologies:
+    """Tier 2: zero-copy shared-memory DistanceModel tables."""
+
+    PRESET = ("paper-smp", (2, 8), "default")
+
+    def _fresh(self):
+        clear_cache()
+        shm.detach_all()
+
+    def test_export_attach_round_trip(self):
+        self._fresh()
+        model = cached_distance_model("paper-smp", 2, 8)
+        key = shm.shm_key(*self.PRESET)
+        with shm.SharedTopologyStore() as store:
+            store.export_model(key, model)
+            store.publish()
+            tables = shm.attach_tables(key)
+            assert tables is not None
+            for name in shm.TABLE_NAMES:
+                np.testing.assert_array_equal(
+                    tables[name], getattr(model, f"_{name}")
+                )
+                assert not tables[name].flags.writeable
+
+            # A model assembled from the shared views is bit-identical.
+            clear_cache()
+            before = cache_stats()
+            attached = cached_distance_model("paper-smp", 2, 8)
+            assert stats_delta(before).get("model_shm_attach") == 1
+            np.testing.assert_array_equal(
+                attached._lca_depth, model._lca_depth
+            )
+            np.testing.assert_array_equal(attached._lca_type, model._lca_type)
+        self._fresh()
+
+    def test_close_unlinks_segments(self):
+        self._fresh()
+        from multiprocessing import shared_memory
+
+        model = cached_distance_model("paper-smp", 2, 8)
+        key = shm.shm_key(*self.PRESET)
+        store = shm.SharedTopologyStore()
+        store.export_model(key, model)
+        store.publish()
+        names = [
+            spec["segment"] for spec in store.manifest[key].values()
+        ]
+        store.close()
+        shm.detach_all()
+        assert os.environ.get(shm.ENV_MANIFEST) is None
+        assert shm.attach_tables(key) is None
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        clear_cache()
+
+    def test_worker_crash_leaves_no_segments(self, tmp_path):
+        """A sweep whose workers die must still unlink every segment."""
+        self._fresh()
+        from multiprocessing import shared_memory
+
+        manifests = []
+        runner = SweepRunner(
+            n_workers=2, chunk_size=1, max_retries=0,
+            shared_topologies=[self.PRESET],
+            on_event=lambda e: manifests.append(
+                os.environ.get(shm.ENV_MANIFEST)
+            ),
+        )
+        sentinel = str(tmp_path / "crashed")
+        tasks = [
+            Task(_crash_once, {"x": i, "sentinel": sentinel}) for i in range(4)
+        ]
+        assert runner.map(tasks) == [0, 1, 4, 9]
+        assert runner.last_stats["serial_fallback"] is True
+
+        published = [m for m in manifests if m]
+        assert published, "the store never published a manifest"
+        import json
+
+        names = [
+            spec["segment"]
+            for entry in json.loads(published[0]).values()
+            for spec in entry.values()
+        ]
+        assert names
+        assert os.environ.get(shm.ENV_MANIFEST) is None
+        shm.detach_all()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        clear_cache()
 
 
 class TestSerialParallelDeterminism:

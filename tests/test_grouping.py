@@ -149,6 +149,62 @@ def test_greedy_always_partitions(n_groups, size, seed):
     assert _is_partition(groups, n, size)
 
 
+def _refine_swap_reference(m, groups, max_rounds=4):
+    """``refine_swap`` without the dirty-pair skip: every group pair is
+    rescored on every round.  The optimized version must reproduce this
+    bit-for-bit — skipping is only legal because an unchanged pair would
+    rebuild the identical gain matrix and reach the identical verdict.
+    """
+    groups = [list(g) for g in groups]
+    for _ in range(max_rounds):
+        improved = False
+        for ga in range(len(groups)):
+            for gb in range(ga + 1, len(groups)):
+                A, B = groups[ga], groups[gb]
+                mAA = m[np.ix_(A, A)]
+                mBB = m[np.ix_(B, B)]
+                mAB = m[np.ix_(A, B)]
+                mBA = m[np.ix_(B, A)]
+                a_in_A = mAA.sum(axis=0) - np.diag(mAA)
+                b_in_B = mBB.sum(axis=0) - np.diag(mBB)
+                a_in_B = mBA.sum(axis=0)
+                b_in_A = mAB.sum(axis=0)
+                gain = (
+                    (a_in_B[:, None] + b_in_A[None, :])
+                    - (a_in_A[:, None] + b_in_B[None, :])
+                    - 2.0 * mAB
+                )
+                flat = int(np.argmax(gain))
+                ia, ib = divmod(flat, len(B))
+                if gain[ia, ib] > 1e-12:
+                    A[ia], B[ib] = B[ib], A[ia]
+                    improved = True
+        if not improved:
+            break
+    return [sorted(g) for g in groups]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_groups=st.integers(min_value=2, max_value=5),
+    size=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+    rounds=st.integers(min_value=1, max_value=6),
+)
+def test_refine_swap_matches_unskipped_reference(n_groups, size, seed, rounds):
+    """The dirty-pair skip must be invisible in the output."""
+    rng = np.random.default_rng(seed)
+    n = n_groups * size
+    m = _sym(n, rng)
+    # A shuffled partition (not greedy output) so many swaps fire.
+    perm = rng.permutation(n)
+    base = [sorted(int(x) for x in perm[i * size:(i + 1) * size])
+            for i in range(n_groups)]
+    assert refine_swap(m, base, max_rounds=rounds) == _refine_swap_reference(
+        m, base, max_rounds=rounds
+    )
+
+
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10_000))
 def test_exact_is_optimal_brute_force(seed):
