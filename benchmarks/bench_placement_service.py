@@ -1,0 +1,113 @@
+"""Placement-service latency gates on the paper preset.
+
+Three contracts, all on the paper's 24-node × 8-core machine
+(192 PUs) with a 192-thread stencil matrix:
+
+* a **warm** cached query must be >= 10x faster than the **cold**
+  TreeMatch run that populated it (the memo answers from a dict, not
+  Algorithm 1);
+* the warm query **p50 must stay under 1 ms** — the number the CI
+  bench gate watches (see ``.github/workflows/ci.yml``);
+* the asyncio front end must sustain **>= 1000 queries/sec** under
+  thousands of concurrent requests (single-flight de-duplication and
+  the decision memo make this a scheduling benchmark, not a mapping
+  one).
+
+Identity is asserted throughout: every warm or concurrent answer must
+be byte-identical to the cold decision — speed can only come from *not
+recomputing*, never from computing something else.
+"""
+
+import asyncio
+import time
+
+from repro.comm import patterns
+from repro.exec.cache import clear_cache, reset_cache_stats
+from repro.placement.service import PlacementService
+from repro.topology import presets
+
+NODES, CORES = 24, 8
+MATRIX_SIDE = 16  # 16 x 12 stencil = 192 threads on 192 PUs
+MIN_WARM_SPEEDUP = 10.0
+MAX_WARM_P50_S = 1e-3
+MIN_CONCURRENT_QPS = 1000.0
+WARM_SAMPLES = 200
+CONCURRENT_REQUESTS = 2000
+
+
+def _setup():
+    clear_cache()
+    reset_cache_stats()
+    topo = presets.paper_smp(NODES, CORES)
+    matrix = patterns.stencil_2d(MATRIX_SIDE, 12, edge_volume=1000.0)
+    assert matrix.order == topo.nb_pus == 192
+    return topo, matrix
+
+
+def test_warm_query_speedup_and_p50(benchmark):
+    topo, matrix = _setup()
+    service = PlacementService(topo)
+
+    t0 = time.perf_counter()
+    cold = service.query_sync(matrix)
+    cold_wall = time.perf_counter() - t0
+    assert not cold.cached
+
+    samples = []
+
+    def warm_run():
+        for _ in range(WARM_SAMPLES):
+            t0 = time.perf_counter()
+            decision = service.query_sync(matrix)
+            samples.append(time.perf_counter() - t0)
+            assert decision.cached
+            assert decision.mapping.pu_of == cold.mapping.pu_of
+        return samples
+
+    benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    samples.sort()
+    p50 = samples[len(samples) // 2]
+    speedup = cold_wall / p50 if p50 > 0 else float("inf")
+
+    benchmark.extra_info["cold_wall_s"] = cold_wall
+    benchmark.extra_info["warm_p50_s"] = p50
+    benchmark.extra_info["warm_p99_s"] = samples[int(len(samples) * 0.99)]
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm query only {speedup:.1f}x cold ({cold_wall * 1e3:.1f} ms vs "
+        f"p50 {p50 * 1e6:.0f} us); contract requires >= {MIN_WARM_SPEEDUP}x"
+    )
+    assert p50 < MAX_WARM_P50_S, (
+        f"warm p50 {p50 * 1e6:.0f} us breaches the "
+        f"{MAX_WARM_P50_S * 1e3:.0f} ms latency gate on the paper preset"
+    )
+
+
+def test_concurrent_queries_per_second(benchmark):
+    topo, matrix = _setup()
+    service = PlacementService(topo)
+    reference = service.query_sync(matrix)  # populate once
+
+    async def flood():
+        return await asyncio.gather(
+            *[service.query(matrix) for _ in range(CONCURRENT_REQUESTS)]
+        )
+
+    def timed():
+        t0 = time.perf_counter()
+        decisions = asyncio.run(flood())
+        wall = time.perf_counter() - t0
+        return decisions, wall
+
+    decisions, wall = benchmark.pedantic(timed, rounds=1, iterations=1)
+    assert len(decisions) == CONCURRENT_REQUESTS
+    assert all(d.mapping.pu_of == reference.mapping.pu_of for d in decisions)
+
+    qps = CONCURRENT_REQUESTS / wall
+    benchmark.extra_info["concurrent_requests"] = CONCURRENT_REQUESTS
+    benchmark.extra_info["wall_s"] = wall
+    benchmark.extra_info["queries_per_s"] = qps
+    assert qps >= MIN_CONCURRENT_QPS, (
+        f"sustained only {qps:.0f} queries/sec over {CONCURRENT_REQUESTS} "
+        f"concurrent requests; contract requires >= {MIN_CONCURRENT_QPS:.0f}"
+    )

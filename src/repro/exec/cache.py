@@ -145,6 +145,17 @@ def cache_stats() -> dict[str, int]:
     return dict(_STATS)
 
 
+def bump_stat(key: str, n: int = 1) -> None:
+    """Increment a named counter in this process's cache statistics.
+
+    Public so that layers built on the cache (the placement service's
+    single-flight and phase-detection counters) report through the same
+    :func:`cache_stats` snapshot the tests and sweep runner already
+    consume.
+    """
+    _bump(key, n)
+
+
 def stats_delta(
     before: dict[str, int], after: Optional[dict[str, int]] = None
 ) -> dict[str, int]:
@@ -425,6 +436,7 @@ def cached_tree_match(
     strategy: str = "auto",
     refine: bool = True,
     allowed: Optional["CpuSet"] = None,
+    failed: Optional[Sequence[int]] = None,
 ) -> "TreeMatchResult":
     """Memoized :func:`repro.treematch.tree_match`.
 
@@ -435,10 +447,31 @@ def cached_tree_match(
     :func:`cache_dir` (when configured); misses run the algorithm and
     populate both.  Disabled (a pure pass-through) under
     ``REPRO_CACHE=off``.
-    """
-    from repro.treematch.algorithm import tree_match
 
-    if not cache_enabled():
+    *failed* marks dead PU os indices: the mapping is computed by
+    :func:`repro.treematch.remap.remap_full` on the surviving PUs, and
+    — critically — the failed set is part of the memo key, so a
+    post-failure query can never be answered with a pre-failure cached
+    mapping (and vice versa).  Control-thread extension and ``allowed``
+    are not composable with ``failed``.
+    """
+    from repro.treematch.algorithm import TreeMatchResult, tree_match
+
+    failed_t = tuple(sorted({int(p) for p in failed})) if failed else ()
+    if failed_t and (n_control or allowed is not None):
+        raise ValidationError(
+            "cached_tree_match: failed= cannot be combined with "
+            "control threads or an allowed cpuset"
+        )
+
+    def compute() -> "TreeMatchResult":
+        if failed_t:
+            from repro.treematch.remap import remap_full
+
+            remapped = remap_full(
+                topo, matrix, failed=failed_t, strategy=strategy, refine=refine
+            )
+            return TreeMatchResult(mapping=remapped.mapping)
         return tree_match(
             topo,
             matrix,
@@ -449,6 +482,9 @@ def cached_tree_match(
             refine=refine,
             allowed=allowed,
         )
+
+    if not cache_enabled():
+        return compute()
     key = placement_key(
         topo,
         matrix,
@@ -460,6 +496,7 @@ def cached_tree_match(
         strategy=str(strategy),
         refine=bool(refine),
         allowed=None if allowed is None else repr(allowed),
+        failed=failed_t,
     )
     result = _PLACEMENTS.get(key)
     if result is not None:
@@ -475,16 +512,7 @@ def cached_tree_match(
             _PLACEMENTS.put(key, loaded[0])
             return loaded[0]
     _bump("placement_miss")
-    result = tree_match(
-        topo,
-        matrix,
-        n_control=n_control,
-        control_pairing=control_pairing,
-        control_volume=control_volume,
-        strategy=strategy,
-        refine=refine,
-        allowed=allowed,
-    )
+    result = compute()
     _PLACEMENTS.put(key, result)
     if path is not None:
         _disk_store(path, key, result)

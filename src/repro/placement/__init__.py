@@ -25,9 +25,11 @@ from repro.placement.policies import (
     RandomPolicy,
     RoundRobinPolicy,
     ScatterPolicy,
+    ServicePolicy,
     TreeMatchPolicy,
     make_policy,
 )
+from repro.placement.service import CommSketch, Decision, PlacementService
 from repro.placement import report
 
 __all__ = [
@@ -46,7 +48,11 @@ __all__ = [
     "RandomPolicy",
     "RoundRobinPolicy",
     "ScatterPolicy",
+    "ServicePolicy",
     "TreeMatchPolicy",
     "make_policy",
+    "CommSketch",
+    "Decision",
+    "PlacementService",
     "report",
 ]

@@ -180,6 +180,58 @@ class TreeMatchPolicy(PlacementPolicy):
         )
 
 
+class ServicePolicy(PlacementPolicy):
+    """Placement through a long-lived :class:`~repro.placement.service.PlacementService`.
+
+    Functionally TreeMatch, but every ``place`` call goes through the
+    service's decision memo and honors its fault state: PUs the service
+    has marked failed or drained are never used, and repairs are
+    incremental (survivor bindings stay put).  One service instance is
+    kept per topology fingerprint, so experiments that sweep multiple
+    machines through a single policy object work unchanged.
+
+    The underlying services are exposed via :meth:`service_for` so a
+    harness can inject faults (``policy.service_for(topo).fail(4)``)
+    between placement calls.
+    """
+
+    name = "service"
+
+    def __init__(self, strategy: str = "auto", refine: bool = True) -> None:
+        self.strategy = strategy
+        self.refine = refine
+        self._services: dict[str, "PlacementService"] = {}
+        self.last_decision = None
+
+    def service_for(self, topo: Topology) -> "PlacementService":
+        """The (lazily created) service bound to *topo*."""
+        from repro.exec.cache import topology_fingerprint
+        from repro.placement.service import PlacementService
+
+        key = topology_fingerprint(topo)
+        svc = self._services.get(key)
+        if svc is None:
+            svc = PlacementService(
+                topo, strategy=self.strategy, refine=self.refine
+            )
+            self._services[key] = svc
+        return svc
+
+    def place(self, topo, n_threads, matrix=None, labels=None):
+        if matrix is None:
+            raise ValidationError("ServicePolicy requires a communication matrix")
+        if matrix.order != n_threads:
+            raise ValidationError(
+                f"matrix order {matrix.order} != n_threads {n_threads}"
+            )
+        decision = self.service_for(topo).query_sync(matrix)
+        self.last_decision = decision
+        mapping = decision.mapping.restricted(n_threads)
+        return Mapping(
+            mapping.pu_of, self._labels(n_threads, labels), policy=self.name
+        )
+
+
 #: name → policy factory (zero-argument callables).
 POLICY_REGISTRY: dict[str, type[PlacementPolicy]] = {
     CompactPolicy.name: CompactPolicy,
@@ -188,6 +240,7 @@ POLICY_REGISTRY: dict[str, type[PlacementPolicy]] = {
     RandomPolicy.name: RandomPolicy,
     NoBindPolicy.name: NoBindPolicy,
     TreeMatchPolicy.name: TreeMatchPolicy,
+    ServicePolicy.name: ServicePolicy,
 }
 
 

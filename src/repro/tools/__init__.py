@@ -10,4 +10,7 @@ Mirrors the utilities the paper's software stack ships:
 * ``python -m repro.tools.trace`` — run a workload with structured
   tracing: export Perfetto/JSON-lines timelines, audit conservation
   invariants, print determinism fingerprints (see ``repro.observe``).
+* ``python -m repro.tools.place`` — query the online placement service:
+  one-shot mappings, ``--failed``-style drains, a line-JSON serve mode,
+  and a decision-latency bench (see ``repro.placement.service``).
 """

@@ -296,6 +296,75 @@ def bench_sweep_cache(
     }
 
 
+def bench_placement_service(
+    warm_samples: int = 200, concurrent: int = 2000
+) -> dict[str, Any]:
+    """Cold/warm decision latency and concurrent throughput of the
+    placement service on the paper preset (192 PUs, 192 threads).
+
+    The headline numbers the latency gate
+    (``benchmarks/bench_placement_service.py``) holds: warm >= 10x
+    cold, warm p50 < 1 ms, >= 1000 queries/sec under *concurrent*
+    simultaneous requests.  Every warm and concurrent answer is checked
+    byte-identical to the cold decision.
+    """
+    import asyncio
+
+    from repro.comm import patterns
+    from repro.exec.cache import clear_cache
+    from repro.placement.service import PlacementService
+    from repro.topology import presets
+
+    clear_cache()
+    topo = presets.paper_smp(24, 8)
+    matrix = patterns.stencil_2d(16, 12, edge_volume=1000.0)
+    service = PlacementService(topo)
+
+    t0 = time.perf_counter()
+    cold = service.query_sync(matrix)
+    cold_wall = time.perf_counter() - t0
+
+    samples = []
+    identical = True
+    for _ in range(warm_samples):
+        t0 = time.perf_counter()
+        decision = service.query_sync(matrix)
+        samples.append(time.perf_counter() - t0)
+        identical = identical and decision.mapping.pu_of == cold.mapping.pu_of
+    samples.sort()
+    p50 = samples[len(samples) // 2]
+    p99 = samples[int(len(samples) * 0.99)]
+
+    async def flood():
+        return await asyncio.gather(
+            *[service.query(matrix) for _ in range(concurrent)]
+        )
+
+    t0 = time.perf_counter()
+    decisions = asyncio.run(flood())
+    concurrent_wall = time.perf_counter() - t0
+    identical = identical and all(
+        d.mapping.pu_of == cold.mapping.pu_of for d in decisions
+    )
+
+    return {
+        "topology": topo.name,
+        "n_pus": topo.nb_pus,
+        "matrix_order": matrix.order,
+        "cold_wall_s": cold_wall,
+        "warm_samples": warm_samples,
+        "warm_p50_s": p50,
+        "warm_p99_s": p99,
+        "warm_speedup": cold_wall / p50 if p50 > 0 else 0.0,
+        "concurrent_requests": concurrent,
+        "concurrent_wall_s": concurrent_wall,
+        "queries_per_s": (
+            concurrent / concurrent_wall if concurrent_wall > 0 else 0.0
+        ),
+        "bit_identical": identical,
+    }
+
+
 def compare_reports(
     current: dict[str, Any],
     baseline: dict[str, Any],
@@ -473,6 +542,19 @@ def main(argv: list[str] | None = None) -> int:
               f"speedup: {cc['warm_speedup']:.1f}x   "
               f"hit rate: {cc['warm_hit_rate']:.0%}   "
               f"bit-identical: {cc['bit_identical']}")
+
+    ps_concurrent = 1000 if args.quick else 2000
+    print(f"[bench] placement service cold/warm latency + "
+          f"{ps_concurrent} concurrent queries (paper preset)...")
+    report["placement_service"] = bench_placement_service(
+        concurrent=ps_concurrent
+    )
+    ps = report["placement_service"]
+    print(f"  cold: {ps['cold_wall_s'] * 1e3:.1f}ms   "
+          f"warm p50: {ps['warm_p50_s'] * 1e6:.0f}us   "
+          f"speedup: {ps['warm_speedup']:.0f}x   "
+          f"throughput: {ps['queries_per_s']:,.0f} q/s   "
+          f"bit-identical: {ps['bit_identical']}")
 
     out = args.output or time.strftime("BENCH_%Y%m%d_%H%M%S.json")
     with open(out, "w") as fh:

@@ -1,0 +1,218 @@
+"""Placement-service CLI: online, fault-aware mapping queries.
+
+Front end of :class:`repro.placement.service.PlacementService`.  Three
+subcommands:
+
+* ``query`` — one-shot: matrix + topology (+ optional dead PUs) in,
+  mapping + provenance out.  ``--failed 4 8 18`` answers "the machine
+  just lost PUs 4, 8 and 18 — where do my threads go now?" without
+  disturbing survivors (``--mode full`` forces the restrict-and-rerun
+  reference instead).
+* ``serve`` — a line-oriented JSON service on stdin/stdout: each
+  request line is answered with a decision line; ``fail``/``drain``/
+  ``restore`` requests mutate the fault state between queries.
+* ``bench`` — measure decision latency on the spot: cold vs warm query
+  walls and the warm p50 for the chosen matrix and topology.
+
+Usage::
+
+    python -m repro.tools.place query --demo 8 --failed 4 8
+    python -m repro.tools.place query comm.mat paper-smp --json
+    echo '{"op": "query"}' | python -m repro.tools.place serve --demo 8
+    python -m repro.tools.place bench --demo 24 paper-smp
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.comm import patterns
+from repro.comm.matrix import CommMatrix
+from repro.placement.service import Decision, PlacementService
+from repro.tools._common import resolve_topology
+from repro.treematch import cost
+
+
+def _load_matrix(args: argparse.Namespace) -> CommMatrix:
+    if args.demo is not None:
+        # With --demo the first positional (if any) is the topology.
+        if args.matrix:
+            args.topology = args.matrix
+        side = args.demo
+        return patterns.stencil_2d(side, side, edge_volume=1000.0)
+    if args.matrix:
+        return CommMatrix.load(args.matrix)
+    sys.exit("error: give a matrix file or --demo N")
+
+
+def _decision_dict(decision: Decision, topo, matrix) -> dict:
+    return {
+        "mapping": list(decision.mapping.pu_of),
+        "method": decision.method,
+        "epoch": decision.epoch,
+        "failed": list(decision.failed),
+        "drained": list(decision.drained),
+        "moved": list(decision.moved),
+        "cached": decision.cached,
+        "latency_us": decision.latency_s * 1e6,
+        "hop_bytes": cost.hop_bytes(decision.mapping, matrix, topo),
+        "key": decision.key[:16],
+    }
+
+
+def _print_decision(decision: Decision, topo, matrix) -> None:
+    info = _decision_dict(decision, topo, matrix)
+    print(f"method      {info['method']}   (epoch {info['epoch']}, "
+          f"{'warm' if info['cached'] else 'cold'}, "
+          f"{info['latency_us']:.0f} us)")
+    if info["failed"] or info["drained"]:
+        print(f"dead PUs    failed={info['failed']} drained={info['drained']}")
+    if info["moved"]:
+        print(f"moved       {len(info['moved'])} threads: {info['moved']}")
+    print(f"hop-bytes   {info['hop_bytes']:.0f}")
+    for t in range(decision.mapping.n_threads):
+        pu = decision.mapping.pu(t)
+        print(f"{decision.mapping.labels[t]}\t{pu if pu >= 0 else 'unbound'}")
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args)
+    topo = resolve_topology(args.topology)
+    service = PlacementService(topo, strategy=args.strategy)
+    if args.failed:
+        service.fail(*args.failed)
+    if args.drained:
+        service.drain(*args.drained)
+    decision = service.query_sync(matrix, mode=args.mode)
+    if args.json:
+        print(json.dumps(_decision_dict(decision, topo, matrix), sort_keys=True))
+    else:
+        _print_decision(decision, topo, matrix)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """One JSON request per stdin line; one JSON decision per stdout line.
+
+    Requests: ``{"op": "query", "mode": "auto"}`` (the matrix is the
+    one the server was started with, unless the request carries
+    ``"matrix": [[...]]`` inline), ``{"op": "fail", "pus": [4, 8]}``,
+    ``"drain"``, ``"restore"``, ``{"op": "stats"}``.
+    """
+    base_matrix = _load_matrix(args)
+    topo = resolve_topology(args.topology)
+    service = PlacementService(topo, strategy=args.strategy)
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            op = request.get("op", "query")
+            if op == "query":
+                matrix = base_matrix
+                if "matrix" in request:
+                    matrix = CommMatrix(request["matrix"], symmetrize=True)
+                decision = service.query_sync(
+                    matrix, mode=request.get("mode", "auto")
+                )
+                response = _decision_dict(decision, topo, matrix)
+            elif op in ("fail", "drain", "restore"):
+                getattr(service, op)(*request.get("pus", []))
+                response = {"ok": True, "epoch": service.epoch}
+            elif op == "stats":
+                response = service.stats()
+            else:
+                response = {"error": f"unknown op {op!r}"}
+        except Exception as exc:  # a bad request must not kill the server
+            response = {"error": str(exc)}
+        print(json.dumps(response, sort_keys=True), flush=True)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.exec.cache import clear_cache, reset_cache_stats
+
+    matrix = _load_matrix(args)
+    topo = resolve_topology(args.topology)
+    clear_cache()
+    reset_cache_stats()
+    service = PlacementService(topo, strategy=args.strategy)
+
+    t0 = time.perf_counter()
+    service.query_sync(matrix)
+    cold = time.perf_counter() - t0
+
+    warm: list[float] = []
+    for _ in range(args.iterations):
+        t0 = time.perf_counter()
+        service.query_sync(matrix)
+        warm.append(time.perf_counter() - t0)
+    warm.sort()
+    p50 = warm[len(warm) // 2]
+    p99 = warm[min(len(warm) - 1, int(len(warm) * 0.99))]
+    print(f"topology        {topo.name} ({topo.nb_pus} PUs)")
+    print(f"matrix order    {matrix.order}")
+    print(f"cold query      {cold * 1e3:.2f} ms")
+    print(f"warm p50        {p50 * 1e6:.1f} us")
+    print(f"warm p99        {p99 * 1e6:.1f} us")
+    print(f"warm speedup    {cold / p50:.0f}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.place", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("matrix", nargs="?", help="communication matrix file")
+        p.add_argument(
+            "topology", nargs="?", default="paper-smp",
+            help="preset name, 'host', JSON file, or synthetic spec",
+        )
+        p.add_argument(
+            "--demo", type=int, metavar="N",
+            help="use an N x N built-in stencil matrix instead of a file",
+        )
+        p.add_argument("--strategy", default="auto", help="grouping strategy")
+
+    q = sub.add_parser("query", help="one-shot placement query")
+    common(q)
+    q.add_argument(
+        "--failed", type=int, nargs="*", default=[], metavar="PU",
+        help="PU os indices to treat as failed",
+    )
+    q.add_argument(
+        "--drained", type=int, nargs="*", default=[], metavar="PU",
+        help="PU os indices to treat as drained",
+    )
+    q.add_argument(
+        "--mode", default="auto", choices=("auto", "incremental", "full"),
+        help="repair path under failures (default: auto = incremental)",
+    )
+    q.add_argument("--json", action="store_true", help="machine-readable output")
+    q.set_defaults(fn=_cmd_query)
+
+    s = sub.add_parser("serve", help="line-oriented JSON service on stdin")
+    common(s)
+    s.set_defaults(fn=_cmd_serve)
+
+    b = sub.add_parser("bench", help="measure decision latency")
+    common(b)
+    b.add_argument(
+        "--iterations", type=int, default=200,
+        help="warm queries to sample (default: 200)",
+    )
+    b.set_defaults(fn=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

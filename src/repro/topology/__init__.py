@@ -47,7 +47,7 @@ from repro.topology.generate import (
     spec_to_dict,
     two_tier,
 )
-from repro.topology.restrict import restrict, restrict_to_objects
+from repro.topology.restrict import restrict, restrict_to_objects, restrict_without
 from repro.topology import generate, presets, query, serialize
 
 __all__ = [
@@ -82,6 +82,7 @@ __all__ = [
     "two_tier",
     "restrict",
     "restrict_to_objects",
+    "restrict_without",
     "generate",
     "presets",
     "query",

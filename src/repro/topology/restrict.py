@@ -63,6 +63,26 @@ def restrict(topo: Topology, cpuset: CpuSet, name: str = "") -> Topology:
     return Topology(root, name=name or f"{topo.name}:restricted")
 
 
+def restrict_without(topo: Topology, dead, name: str = "") -> Topology:
+    """A new topology with the PUs in *dead* removed.
+
+    The subtractive form of :func:`restrict`, used by fault-aware
+    re-mapping: ``dead`` is any iterable of PU os indices (or a
+    :class:`CpuSet`) marking failed or drained units.  Removing
+    arbitrary single PUs generally leaves a *ragged* tree that
+    :func:`~repro.treematch.tree_match` will reject — see
+    :func:`repro.treematch.remap.remap_full` for the capacity-aware
+    fallback that handles it.
+
+    Raises :class:`TopologyError` if no PU survives.
+    """
+    dead_set = dead if isinstance(dead, CpuSet) else CpuSet(dead)
+    keep = topo.cpuset - dead_set
+    if keep.is_empty():
+        raise TopologyError("restriction removes every PU of the machine")
+    return restrict(topo, keep, name=name or f"{topo.name}:survivors")
+
+
 def restrict_to_objects(
     topo: Topology, type_: ObjType, count: int, name: str = ""
 ) -> Topology:

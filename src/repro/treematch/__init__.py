@@ -22,6 +22,13 @@ from repro.treematch.control import ControlPlan, ControlStrategy
 from repro.treematch.grouping import group_processes
 from repro.treematch.mapping import Mapping, map_groups
 from repro.treematch.oversubscription import OversubscriptionPlan
+from repro.treematch.remap import (
+    RemapResult,
+    place_restricted,
+    remap_full,
+    remap_incremental,
+    repair_domains,
+)
 from repro.treematch import cost
 
 __all__ = [
@@ -37,5 +44,10 @@ __all__ = [
     "Mapping",
     "map_groups",
     "OversubscriptionPlan",
+    "RemapResult",
+    "place_restricted",
+    "remap_full",
+    "remap_incremental",
+    "repair_domains",
     "cost",
 ]

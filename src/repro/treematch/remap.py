@@ -1,0 +1,457 @@
+"""Fault-aware re-mapping: keep a placement alive when PUs fail or drain.
+
+The paper runs Algorithm 1 once at launch.  A long-lived placement
+service (:mod:`repro.placement.service`) instead has to *repair* a
+mapping online when processing units disappear — hardware faults,
+administrative drains, cgroup shrinkage.  Two entry points:
+
+* :func:`remap_full` — the reference: restrict the topology to the
+  surviving PUs and re-run TreeMatch from scratch.  When the restricted
+  tree stays balanced (whole cores/sockets removed) this is literally
+  ``tree_match(restrict(topo, survivors), matrix)``; when single PUs
+  die and the tree goes ragged, a deterministic capacity-apportioned
+  recursive partitioner (:func:`place_restricted`) takes over, since
+  Algorithm 1 requires balanced arities.
+* :func:`remap_incremental` — the online repair: starting from a *base*
+  placement computed on the healthy machine, only the repair domains
+  (NUMA nodes by default) that actually lost PUs are re-placed;
+  threads in untouched domains keep their bindings bit-for-bit.
+  Displaced threads are re-placed by a deterministic cost-greedy rule
+  (volume-weighted hop distance to the already-fixed threads),
+  preferring slots inside their home domain and spilling to the
+  nearest free survivor otherwise.
+
+Both produce a :class:`RemapResult` whose mapping provably never uses a
+dead PU and never exceeds the minimal uniform capacity
+``ceil(bound_threads / surviving_PUs)`` per PU
+(``tests/test_placement_service.py`` pins both properties plus the
+incremental-vs-full quality bound).
+
+Determinism contract: results depend only on ``(topology, matrix,
+cumulative failed/drained sets, parameters)`` — never on the order in
+which failures were observed.  A service that accumulates failures and
+always repairs from the pristine base therefore returns byte-identical
+mappings for any interleaving of the same fault events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.comm.matrix import CommMatrix
+from repro.topology.cpuset import CpuSet
+from repro.topology.distance import DistanceModel
+from repro.topology.objects import ObjType, TopologyObject
+from repro.topology.restrict import restrict
+from repro.topology.tree import Topology, TopologyError
+from repro.treematch.algorithm import TreeMatchResult, tree_match
+from repro.treematch.mapping import Mapping
+from repro.util.validate import ValidationError
+
+
+@dataclass(frozen=True)
+class RemapResult:
+    """A repaired placement plus the audit trail of the repair.
+
+    Attributes
+    ----------
+    mapping:
+        The new thread → PU assignment (full-machine os indices; no
+        entry is a failed or drained PU).
+    moved:
+        Thread ids whose PU changed relative to the base mapping
+        (:func:`remap_full` reports moves against the matrix-order
+        prefix of the base it was given, or ``()`` with no base).
+    affected_domains:
+        Logical indices of the repair domains that lost at least one PU
+        (empty for :func:`remap_full`'s from-scratch paths).
+    failed, drained:
+        The cumulative dead-PU sets the repair honored (sorted).
+    capacity:
+        Max threads any single PU may carry after the repair —
+        ``ceil(bound_threads / surviving_PUs)``.
+    method:
+        Which path produced the mapping: ``"unchanged"``,
+        ``"incremental"``, ``"treematch"`` (no failures),
+        ``"treematch-restricted"`` (balanced survivors), or
+        ``"capacity-greedy"`` (ragged survivors).
+    """
+
+    mapping: Mapping
+    moved: tuple[int, ...]
+    affected_domains: tuple[int, ...]
+    failed: tuple[int, ...]
+    drained: tuple[int, ...]
+    capacity: int
+    method: str
+
+
+# ---------------------------------------------------------------------------
+# Shared validation
+# ---------------------------------------------------------------------------
+
+
+def _dead_and_survivors(
+    topo: Topology,
+    failed: Iterable[int],
+    drained: Iterable[int],
+) -> tuple[tuple[int, ...], tuple[int, ...], CpuSet]:
+    """Validate the dead sets; return (failed, drained, survivor cpuset)."""
+    valid = {pu.os_index for pu in topo.pus()}
+    failed_t = tuple(sorted({int(p) for p in failed}))
+    drained_t = tuple(sorted({int(p) for p in drained}))
+    for p in failed_t + drained_t:
+        if p not in valid:
+            raise ValidationError(f"unknown PU os_index {p} in failed/drained set")
+    dead = set(failed_t) | set(drained_t)
+    survivors = topo.cpuset - CpuSet(dead)
+    if survivors.is_empty():
+        raise ValidationError("every PU is failed or drained; nothing to map onto")
+    return failed_t, drained_t, survivors
+
+
+def repair_domains(
+    topo: Topology, domain: Optional[ObjType] = None
+) -> list[TopologyObject]:
+    """The repair-granularity objects of *topo*.
+
+    ``None`` selects NUMA nodes when the tree has them (the paper's
+    locality unit), else the children of the machine root.  A repair
+    domain is the region whose threads are re-optimized together when
+    any of its PUs die.
+    """
+    if domain is not None:
+        objs = list(topo.objects_by_type(domain))
+        if not objs:
+            raise ValidationError(
+                f"topology has no {domain.name} level to use as repair domains"
+            )
+        return objs
+    objs = list(topo.objects_by_type(ObjType.NUMANODE))
+    if objs:
+        return objs
+    return list(topo.objects_at_depth(1)) if topo.depth > 1 else [topo.root]
+
+
+def _capacity(n_bound: int, n_survivors: int) -> int:
+    """Minimal uniform per-PU capacity after a failure."""
+    return max(1, math.ceil(n_bound / n_survivors)) if n_bound else 1
+
+
+# ---------------------------------------------------------------------------
+# Incremental repair
+# ---------------------------------------------------------------------------
+
+
+def remap_incremental(
+    topo: Topology,
+    matrix: CommMatrix,
+    base: Union[TreeMatchResult, Mapping],
+    failed: Iterable[int] = (),
+    drained: Iterable[int] = (),
+    *,
+    domain: Optional[ObjType] = None,
+    model: Optional[DistanceModel] = None,
+) -> RemapResult:
+    """Repair *base* after losing the given PUs, touching only hit domains.
+
+    Parameters
+    ----------
+    topo:
+        The *healthy* machine (the failed PUs are still in the tree;
+        they are excluded by the repair, not by the caller).
+    matrix:
+        Communication matrix over the threads (order = thread count).
+    base:
+        The placement computed on the healthy machine — a
+        :class:`~repro.treematch.algorithm.TreeMatchResult` or a bare
+        :class:`~repro.treematch.mapping.Mapping` covering at least
+        ``matrix.order`` threads.
+    failed, drained:
+        Cumulative dead-PU os indices (semantically identical for
+        placement; tracked separately for reporting).
+    domain:
+        Repair granularity (default: NUMA nodes, see
+        :func:`repair_domains`).
+    model:
+        Optional pre-built :class:`DistanceModel` (saves the O(P²)
+        sweep when the caller already has one).
+
+    Invariants (property-tested): no thread lands on a dead PU; no PU
+    exceeds ``ceil(bound_threads / survivors)`` threads; a thread moves
+    only if its repair domain lost a PU.
+    """
+    base_mapping = base.mapping if isinstance(base, TreeMatchResult) else base
+    n = matrix.order
+    if base_mapping.n_threads < n:
+        raise ValidationError(
+            f"base mapping covers {base_mapping.n_threads} threads "
+            f"but matrix order is {n}"
+        )
+    failed_t, drained_t, survivors = _dead_and_survivors(topo, failed, drained)
+    dead = set(failed_t) | set(drained_t)
+    pu_of = [base_mapping.pu(t) for t in range(n)]
+
+    if not dead:
+        return RemapResult(
+            mapping=Mapping(tuple(pu_of), matrix.labels[:n], policy="remap"),
+            moved=(),
+            affected_domains=(),
+            failed=failed_t,
+            drained=drained_t,
+            capacity=_capacity(sum(1 for p in pu_of if p >= 0), topo.nb_pus),
+            method="unchanged",
+        )
+
+    domains = repair_domains(topo, domain)
+    domain_of_pu: dict[int, int] = {}
+    for di, obj in enumerate(domains):
+        for os_index in obj.cpuset:
+            domain_of_pu[os_index] = di
+    affected = tuple(
+        sorted({domain_of_pu[p] for p in dead if p in domain_of_pu})
+    )
+    affected_set = set(affected)
+
+    n_bound = sum(1 for p in pu_of if p >= 0)
+    cap = _capacity(n_bound, survivors.weight())
+
+    if model is None:
+        model = DistanceModel(topo)
+    hops = model.hop_matrix()
+    logical_of = {pu.os_index: model.logical_of_os(pu.os_index) for pu in topo.pus()}
+
+    # Threads that keep their binding: bound, on a survivor, in an
+    # untouched domain.  Everything else bound re-places.
+    keep: list[int] = []
+    to_place_by_domain: dict[int, list[int]] = {}
+    for t in range(n):
+        p = pu_of[t]
+        if p < 0:
+            continue
+        home = domain_of_pu.get(p, -1)
+        if home in affected_set:
+            to_place_by_domain.setdefault(home, []).append(t)
+        else:
+            keep.append(t)
+
+    free: dict[int, int] = {p: cap for p in survivors}
+    for t in keep:
+        free[pu_of[t]] -= 1
+
+    vals = np.asarray(matrix.values, dtype=np.float64)
+    row_volume = vals.sum(axis=1)
+    new_pu = list(pu_of)
+    fixed_threads: list[int] = list(keep)
+    fixed_logical: list[int] = [logical_of[pu_of[t]] for t in keep]
+    moved: list[int] = []
+
+    survivor_list = [pu.os_index for pu in topo.pus() if pu.os_index in survivors]
+
+    for di in affected:
+        local = [p for p in survivor_list if domain_of_pu.get(p, -1) == di]
+        threads = sorted(
+            to_place_by_domain.get(di, ()),
+            key=lambda t: (-row_volume[t], t),
+        )
+        for t in threads:
+            candidates = [p for p in local if free[p] > 0]
+            if not candidates:
+                candidates = [p for p in survivor_list if free[p] > 0]
+            if not candidates:  # pragma: no cover - cap guarantees a slot
+                raise ValidationError("no surviving PU has free capacity")
+            if fixed_threads:
+                cand_logical = np.array(
+                    [logical_of[p] for p in candidates], dtype=np.intp
+                )
+                vols = vals[t, fixed_threads]
+                costs = hops[np.ix_(cand_logical, fixed_logical)] @ vols
+                best = candidates[int(np.argmin(costs))]
+            else:
+                best = candidates[0]
+            free[best] -= 1
+            if new_pu[t] != best:
+                moved.append(t)
+            new_pu[t] = best
+            fixed_threads.append(t)
+            fixed_logical.append(logical_of[best])
+
+    mapping = Mapping(tuple(new_pu), matrix.labels[:n], policy="remap-incremental")
+    return RemapResult(
+        mapping=mapping,
+        moved=tuple(sorted(moved)),
+        affected_domains=affected,
+        failed=failed_t,
+        drained=drained_t,
+        capacity=cap,
+        method="incremental",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Full re-run reference
+# ---------------------------------------------------------------------------
+
+
+def _apportion(count: int, capacities: list[int]) -> list[int]:
+    """Split *count* items across buckets bounded by *capacities*.
+
+    Largest-remainder apportionment proportional to capacity, fully
+    deterministic (remainder ties break on bucket index).  Requires
+    ``count <= sum(capacities)``.
+    """
+    total = sum(capacities)
+    if count > total:
+        raise ValidationError(f"cannot apportion {count} items into {total} slots")
+    ideal = [count * c / total if total else 0.0 for c in capacities]
+    out = [min(c, math.floor(x)) for x, c in zip(ideal, capacities)]
+    remainder = count - sum(out)
+    order = sorted(
+        range(len(capacities)),
+        key=lambda i: (-(ideal[i] - out[i]), i),
+    )
+    k = 0
+    while remainder > 0:
+        i = order[k % len(order)]
+        if out[i] < capacities[i]:
+            out[i] += 1
+            remainder -= 1
+        k += 1
+    return out
+
+
+def _partition_sizes(
+    m: np.ndarray, entities: list[int], sizes: list[int]
+) -> list[list[int]]:
+    """Greedy affinity partition of *entities* into groups of given sizes.
+
+    The unequal-size sibling of
+    :func:`repro.treematch.grouping.group_greedy`: groups are filled in
+    order, each seeded with the heaviest-communicating unassigned
+    entity and grown by maximum attachment volume.  Deterministic
+    (ties break on entity id).
+    """
+    available = set(entities)
+    row_volume = {e: float(m[e, list(entities)].sum()) for e in entities}
+    groups: list[list[int]] = []
+    for size in sizes:
+        if size == 0 or not available:
+            groups.append([])
+            continue
+        seed = min(available, key=lambda e: (-row_volume[e], e))
+        group = [seed]
+        available.discard(seed)
+        while len(group) < size and available:
+            scores = m[np.ix_(sorted(available), group)].sum(axis=1)
+            ordered = sorted(available)
+            best = ordered[int(np.argmax(scores))]
+            group.append(best)
+            available.discard(best)
+        groups.append(sorted(group))
+    if available:  # pragma: no cover - sizes always sum to len(entities)
+        raise ValidationError("partition sizes did not cover every entity")
+    return groups
+
+
+def place_restricted(topo: Topology, matrix: CommMatrix) -> Mapping:
+    """Deterministic capacity-aware placement on an arbitrary tree.
+
+    The fallback reference for ragged survivor sets, where Algorithm 1
+    cannot run (it requires uniform arities): recursively apportion the
+    thread set across subtrees proportionally to their surviving leaf
+    capacities, partitioning by the greedy affinity rule at every step.
+    Oversubscription is uniform: each PU carries at most
+    ``ceil(order / nb_pus)`` threads.
+    """
+    n = matrix.order
+    if n == 0:
+        raise ValidationError("cannot place an empty matrix")
+    f = _capacity(n, topo.nb_pus)
+    m = np.asarray(matrix.values, dtype=np.float64)
+    pu_of = [0] * n
+
+    def assign(node: TopologyObject, entities: list[int]) -> None:
+        if not entities:
+            return
+        if node.type is ObjType.PU:
+            assert node.os_index is not None
+            for e in entities:
+                pu_of[e] = node.os_index
+            return
+        kids = list(node.children)
+        caps = [f * kid.cpuset.weight() for kid in kids]
+        sizes = _apportion(len(entities), caps)
+        for kid, group in zip(kids, _partition_sizes(m, entities, sizes)):
+            assign(kid, group)
+
+    assign(topo.root, list(range(n)))
+    return Mapping(tuple(pu_of), matrix.labels, policy="capacity-greedy")
+
+
+def remap_full(
+    topo: Topology,
+    matrix: CommMatrix,
+    failed: Iterable[int] = (),
+    drained: Iterable[int] = (),
+    *,
+    strategy: str = "auto",
+    refine: bool = True,
+    base: Optional[Union[TreeMatchResult, Mapping]] = None,
+) -> RemapResult:
+    """The from-scratch reference: TreeMatch on the restricted topology.
+
+    With no dead PUs this is plain :func:`~repro.treematch.tree_match`.
+    With dead PUs the topology is restricted to the survivors
+    (os indices preserved, so the result is valid on the full machine);
+    if the restriction is still balanced, Algorithm 1 runs on it,
+    otherwise :func:`place_restricted` provides the deterministic
+    capacity-aware fallback.
+
+    *base* is only used to report which threads moved.
+    """
+    failed_t, drained_t, survivors = _dead_and_survivors(topo, failed, drained)
+    n = matrix.order
+    dead = set(failed_t) | set(drained_t)
+
+    if not dead:
+        result = tree_match(topo, matrix, strategy=strategy, refine=refine)
+        mapping = result.mapping.restricted(n)
+        method = "treematch"
+        cap = _capacity(n, topo.nb_pus)
+    else:
+        restricted = restrict(topo, survivors)
+        cap = _capacity(n, restricted.nb_pus)
+        try:
+            restricted.arities()
+            balanced = True
+        except TopologyError:
+            balanced = False
+        if balanced:
+            result = tree_match(restricted, matrix, strategy=strategy, refine=refine)
+            mapping = result.mapping.restricted(n)
+            method = "treematch-restricted"
+        else:
+            mapping = place_restricted(restricted, matrix)
+            method = "capacity-greedy"
+
+    mapping = Mapping(mapping.pu_of, matrix.labels[:n], policy="remap-full")
+    moved: tuple[int, ...] = ()
+    if base is not None:
+        base_mapping = base.mapping if isinstance(base, TreeMatchResult) else base
+        moved = tuple(
+            t for t in range(min(n, base_mapping.n_threads))
+            if base_mapping.pu(t) != mapping.pu(t)
+        )
+    return RemapResult(
+        mapping=mapping,
+        moved=moved,
+        affected_domains=(),
+        failed=failed_t,
+        drained=drained_t,
+        capacity=cap,
+        method=method,
+    )

@@ -347,6 +347,55 @@ class TestPlacementMemo:
         cached_tree_match(topo, cm)
         assert stats_delta(before).get("placement_disk_hit") == 1
 
+    def test_failed_set_is_part_of_the_key(self):
+        topo, cm = self._inputs()
+        base = placement_key(topo, cm, strategy="auto", failed=())
+        one = placement_key(topo, cm, strategy="auto", failed=(0,))
+        two = placement_key(topo, cm, strategy="auto", failed=(0, 8))
+        assert len({base, one, two}) == 3
+
+    def test_post_failure_query_never_sees_pre_failure_mapping(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a failure must invalidate both cache tiers.
+
+        Before ``failed`` entered the digest, a service that marked a
+        PU dead and re-queried would be handed the stale pre-failure
+        mapping — still binding threads to the dead PU.  Exercises the
+        in-process LRU and the disk tier separately.
+        """
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        topo, cm = self._inputs()
+        healthy = cached_tree_match(topo, cm)
+        dead = healthy.mapping.pu(0)
+
+        # Memory tier: the healthy mapping is hot in the LRU.
+        after = cached_tree_match(topo, cm, failed=[dead])
+        assert dead not in after.mapping.pu_of
+        assert dead in healthy.mapping.pu_of
+
+        # Disk tier: drop the LRU so only on-disk payloads remain.
+        clear_cache()
+        before = cache_stats()
+        again = cached_tree_match(topo, cm, failed=[dead])
+        assert stats_delta(before).get("placement_disk_hit") == 1
+        assert again.mapping == after.mapping
+        # The healthy entry is still served for healthy queries.
+        assert cached_tree_match(topo, cm).mapping == healthy.mapping
+
+    def test_failed_rejects_control_and_allowed(self):
+        from repro.topology.cpuset import CpuSet
+        from repro.util.validate import ValidationError
+
+        topo, cm = self._inputs()
+        with pytest.raises(ValidationError):
+            cached_tree_match(topo, cm, n_control=1, failed=[0])
+        with pytest.raises(ValidationError):
+            cached_tree_match(
+                topo, cm, allowed=CpuSet(range(4)), failed=[0]
+            )
+
 
 class TestPointCacheSweep:
     """Tier 3: content-addressed whole-point results."""

@@ -39,6 +39,7 @@ class TestPolicies:
             "random",
             "nobind",
             "treematch",
+            "service",
         }
 
     def test_make_policy_unknown(self):
