@@ -10,6 +10,9 @@
 * :mod:`~repro.experiments.scaling` — the beyond-the-paper machine-size
   sweep over generated mega-topologies, with paired significance and
   saturation detection.
+* :mod:`~repro.experiments.dag` — E7: Bind/NoBind/service placement on
+  the :mod:`repro.tasks` DAG workload families (tiled Cholesky,
+  level-synchronous BFS, divide-and-conquer), paired and Holm-corrected.
 """
 
 from repro.experiments.fig1 import (
@@ -26,7 +29,16 @@ from repro.experiments.scaling import (
     run_scaling,
     run_scaling_point,
 )
-from repro.experiments import ablations, cluster, scaling
+from repro.experiments.dag import (
+    POLICIES,
+    WORKLOADS,
+    DagPoint,
+    DagResult,
+    build_workload,
+    run_dag,
+    run_dag_point,
+)
+from repro.experiments import ablations, cluster, dag, scaling
 
 __all__ = [
     "ascii_plot",
@@ -40,7 +52,15 @@ __all__ = [
     "run_point",
     "run_scaling",
     "run_scaling_point",
+    "POLICIES",
+    "WORKLOADS",
+    "DagPoint",
+    "DagResult",
+    "build_workload",
+    "run_dag",
+    "run_dag_point",
     "ablations",
     "cluster",
+    "dag",
     "scaling",
 ]

@@ -9,6 +9,16 @@
   (main + 8 frontier sub-ops per block).
 * :mod:`~repro.kernels.openmp` — the fork-join (OpenMP-like) comparator
   with global barriers and master-node first-touch.
+
+DAG workload families over :mod:`repro.tasks` (the dependency-graph
+frontend):
+
+* :mod:`~repro.kernels.cholesky` — tiled Cholesky (POTRF/TRSM/SYRK/
+  GEMM), the Parla reference benchmark.
+* :mod:`~repro.kernels.bfs` — level-synchronous BFS over generated
+  irregular graphs with partitioned frontier exchange.
+* :mod:`~repro.kernels.divconq` — skewed recursive divide-and-conquer
+  (mergesort-shaped fat tree).
 """
 
 from repro.kernels.stencil import ALL_DIRECTIONS, BlockGrid, Direction, CORNERS, EDGES
@@ -28,6 +38,9 @@ from repro.kernels.lk23_orwl import Lk23Config, build_program, describe
 from repro.kernels.openmp import OpenMpConfig, OpenMpResult, run_openmp_lk23
 from repro.kernels import lk18
 from repro.kernels.wavefront import WavefrontConfig, build_wavefront_program
+from repro.kernels.cholesky import CholeskyConfig, build_cholesky_graph
+from repro.kernels.bfs import BfsConfig, build_bfs_graph
+from repro.kernels.divconq import DivConqConfig, build_divconq_graph
 
 __all__ = [
     "ALL_DIRECTIONS",
@@ -54,4 +67,10 @@ __all__ = [
     "lk18",
     "WavefrontConfig",
     "build_wavefront_program",
+    "CholeskyConfig",
+    "build_cholesky_graph",
+    "BfsConfig",
+    "build_bfs_graph",
+    "DivConqConfig",
+    "build_divconq_graph",
 ]

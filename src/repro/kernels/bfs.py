@@ -1,0 +1,161 @@
+"""Level-synchronous BFS over generated irregular graphs, as a task DAG.
+
+The input graph is generated deterministically from ``graph_seed``
+(a random attachment tree backbone — guaranteeing connectivity — plus
+extra uniform edges for irregularity), levelized host-side from vertex
+0, and block-partitioned across ``parts`` owners.  The DAG then has one
+task ``BFS[l, p]`` per (level, partition) with a non-empty frontier:
+
+* it *writes* the frontier region ``F[l][p]`` (one 8-byte word per
+  frontier vertex the partition discovered);
+* it *reads* ``F[l-1][q]`` for every partition *q* whose level-(l-1)
+  frontier has an edge into its own level-l vertices — the frontier
+  exchange of a distributed level-synchronous BFS;
+* its flop cost is the number of edges it scans (the degrees of its
+  frontier vertices), so work per task is irregular by construction.
+
+Unlike Cholesky's regular recursion this yields a DAG whose shape —
+level widths, cross-partition exchange pattern, per-task cost — all
+depend on the random graph, which is exactly the kind of structure the
+paper's static stencil extraction never sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tasks.graph import Region, TaskGraph
+from repro.util.validate import ValidationError, check_in_range, check_positive
+
+
+#: cost of scanning one edge, in flops (relaxation + frontier update).
+FLOPS_PER_EDGE = 16.0
+#: bytes per frontier vertex in the exchange payload.
+BYTES_PER_VERTEX = 8.0
+
+
+@dataclass(frozen=True)
+class BfsConfig:
+    """Shape of a BFS-on-random-graph instance."""
+
+    #: number of vertices in the generated graph.
+    n_vertices: int = 256
+    #: extra random edges per vertex on top of the attachment tree.
+    extra_degree: float = 2.0
+    #: number of frontier partitions (owners).
+    parts: int = 8
+    #: seed of the graph generator (independent of the simulation seed).
+    graph_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_vertices, "n_vertices")
+        check_positive(self.parts, "parts")
+        check_in_range(self.extra_degree, 0.0, 1e6, "extra_degree")
+        if self.parts > self.n_vertices:
+            raise ValidationError("more partitions than vertices")
+
+
+def generate_graph(cfg: BfsConfig) -> list[list[int]]:
+    """Deterministic irregular undirected graph as an adjacency list.
+
+    Vertex ``v > 0`` attaches to a uniformly random earlier vertex
+    (connected, power-law-ish degrees near the root), then
+    ``extra_degree * n`` uniform random edges are layered on top
+    (self-loops and duplicates dropped).  Same ``graph_seed``, same
+    graph — on every platform, via :class:`numpy.random.Generator`
+    (PCG64).
+    """
+    n = cfg.n_vertices
+    rng = np.random.default_rng(cfg.graph_seed)
+    edges: set[tuple[int, int]] = set()
+    for v in range(1, n):
+        u = int(rng.integers(0, v))
+        edges.add((u, v))
+    n_extra = int(cfg.extra_degree * n)
+    if n_extra > 0:
+        us = rng.integers(0, n, size=n_extra)
+        vs = rng.integers(0, n, size=n_extra)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            edges.add((min(u, v), max(u, v)))
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for u, v in sorted(edges):
+        adj[u].append(v)
+        adj[v].append(u)
+    return adj
+
+
+def bfs_levels(adj: list[list[int]], root: int = 0) -> list[int]:
+    """Host-side BFS distance of every vertex from *root*.
+
+    The attachment-tree backbone makes every vertex reachable; a
+    disconnected vertex would be a generator bug, so it raises.
+    """
+    n = len(adj)
+    level = [-1] * n
+    level[root] = 0
+    frontier = [root]
+    while frontier:
+        nxt: list[int] = []
+        for u in frontier:
+            for v in adj[u]:
+                if level[v] < 0:
+                    level[v] = level[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    if min(level) < 0:
+        raise ValidationError("generated graph is disconnected")
+    return level
+
+
+def partition_of(v: int, n: int, parts: int) -> int:
+    """Block partition: vertex *v* of *n* belongs to owner ``v*parts//n``."""
+    return v * parts // n
+
+
+def build_bfs_graph(config: BfsConfig | None = None) -> TaskGraph:
+    """Build the level-synchronous BFS DAG for *config*."""
+    cfg = config or BfsConfig()
+    adj = generate_graph(cfg)
+    level = bfs_levels(adj)
+    n, parts = cfg.n_vertices, cfg.parts
+    depth = max(level) + 1
+
+    # frontier vertex lists per (level, part)
+    frontier: dict[tuple[int, int], list[int]] = {}
+    for v in range(n):
+        frontier.setdefault((level[v], partition_of(v, n, parts)), []).append(v)
+
+    g = TaskGraph(
+        f"bfs-n{n}-d{cfg.extra_degree:g}-p{parts}-s{cfg.graph_seed}"
+    )
+    regions: dict[tuple[int, int], Region] = {}
+    for (lv, p), verts in sorted(frontier.items()):
+        regions[lv, p] = g.region(
+            f"F[{lv}][{p}]", nbytes=len(verts) * BYTES_PER_VERTEX
+        )
+
+    space = g.space("BFS")
+    for lv in range(depth):
+        for p in range(parts):
+            verts = frontier.get((lv, p))
+            if not verts:
+                continue
+            # partitions whose level-(l-1) frontier discovered our vertices
+            producers: set[int] = set()
+            if lv > 0:
+                for v in verts:
+                    for u in adj[v]:
+                        if level[u] == lv - 1:
+                            producers.add(partition_of(u, n, parts))
+            edges_scanned = sum(len(adj[v]) for v in verts)
+            g.spawn(
+                space[lv, p],
+                flops=edges_scanned * FLOPS_PER_EDGE,
+                reads=[regions[lv - 1, q] for q in sorted(producers)],
+                writes=[regions[lv, p]],
+            )
+    return g

@@ -1,0 +1,107 @@
+"""Recursive divide-and-conquer (mergesort-shaped) as a task DAG.
+
+A binary recursion over a buffer of ``nbytes``: SPLIT tasks partition
+their span and hand each half to a child (writing the child's input
+region — real bytes move down), LEAF tasks do the per-element work at
+the bottom, MERGE tasks combine child results back up (reading both
+child result regions, writing their own).  The *skew* parameter makes
+the splits uneven — a seeded coin per internal node decides how lopsided
+— so the tree is cost-imbalanced the way real task-parallel recursion
+is (Wittmann & Hager's ccNUMA task queues), while staying bit-reproducible
+from ``split_seed``.
+
+The communication matrix is a fat binary tree: heavy near the root
+(whole-buffer payloads), geometrically lighter toward the leaves —
+the opposite gradient of BFS's frontier exchange and a useful third
+point for the placement comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tasks.graph import Region, TaskGraph, TaskSpace
+from repro.util.validate import check_in_range, check_positive
+
+
+#: per-byte flop cost of leaf work (sort-ish: touch every element).
+LEAF_FLOPS_PER_BYTE = 8.0
+#: per-byte flop cost of a merge pass.
+MERGE_FLOPS_PER_BYTE = 2.0
+#: per-byte flop cost of a split pass.
+SPLIT_FLOPS_PER_BYTE = 1.0
+
+
+@dataclass(frozen=True)
+class DivConqConfig:
+    """Shape of a divide-and-conquer instance."""
+
+    #: recursion depth (2**depth leaves).
+    depth: int = 4
+    #: buffer size at the root, in bytes.
+    root_bytes: float = 1 << 22
+    #: split imbalance in [0, 1): 0 = even halves, 0.5 = up to 75/25.
+    skew: float = 0.3
+    #: seed of the per-node split coins (independent of the sim seed).
+    split_seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_in_range(self.depth, 1, 16, "depth")
+        check_positive(self.root_bytes, "root_bytes")
+        check_in_range(self.skew, 0.0, 0.999, "skew")
+
+    @property
+    def n_tasks(self) -> int:
+        # 2**depth - 1 splits, 2**depth leaves, 2**depth - 1 merges.
+        return 3 * 2**self.depth - 2
+
+
+def build_divconq_graph(config: DivConqConfig | None = None) -> TaskGraph:
+    """Build the divide-and-conquer DAG for *config*."""
+    cfg = config or DivConqConfig()
+    rng = np.random.default_rng(cfg.split_seed)
+    g = TaskGraph(
+        f"divconq-d{cfg.depth}-n{cfg.root_bytes:g}"
+        f"-k{cfg.skew:g}-s{cfg.split_seed}"
+    )
+    split: TaskSpace = g.space("SPLIT")
+    leaf: TaskSpace = g.space("LEAF")
+    merge: TaskSpace = g.space("MERGE")
+
+    def recurse(lv: int, idx: int, nbytes: float, inp: Region | None) -> Region:
+        """Build the subtree for node (lv, idx); returns its result region."""
+        if lv == cfg.depth:
+            out = g.region(f"res[{lv}][{idx}]", nbytes=nbytes)
+            g.spawn(
+                leaf[lv, idx],
+                flops=nbytes * LEAF_FLOPS_PER_BYTE,
+                reads=[inp] if inp is not None else [],
+                writes=[out],
+            )
+            return out
+        frac = 0.5 + cfg.skew * (float(rng.random()) - 0.5)
+        left_b = max(1.0, round(nbytes * frac))
+        right_b = max(1.0, nbytes - left_b)
+        left_in = g.region(f"in[{lv + 1}][{2 * idx}]", nbytes=left_b)
+        right_in = g.region(f"in[{lv + 1}][{2 * idx + 1}]", nbytes=right_b)
+        g.spawn(
+            split[lv, idx],
+            flops=nbytes * SPLIT_FLOPS_PER_BYTE,
+            reads=[inp] if inp is not None else [],
+            writes=[left_in, right_in],
+        )
+        left_res = recurse(lv + 1, 2 * idx, left_b, left_in)
+        right_res = recurse(lv + 1, 2 * idx + 1, right_b, right_in)
+        out = g.region(f"res[{lv}][{idx}]", nbytes=nbytes)
+        g.spawn(
+            merge[lv, idx],
+            flops=nbytes * MERGE_FLOPS_PER_BYTE,
+            reads=[left_res, right_res],
+            writes=[out],
+        )
+        return out
+
+    recurse(0, 0, float(cfg.root_bytes), None)
+    return g

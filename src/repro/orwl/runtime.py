@@ -126,6 +126,12 @@ class OpContext:
         homing: call once at iteration 0 and remember the result)."""
         return self._rt.machine.node_of_thread(self.tid)
 
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds) — for schedule recording
+        (e.g. the DAG frontend's per-task ready/done timestamps)."""
+        return self._rt.machine.engine.now
+
     # -- lock protocol ------------------------------------------------------
 
     def acquire(self, handle: Handle) -> Generator:

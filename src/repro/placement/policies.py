@@ -23,7 +23,7 @@ Policies are registered in :data:`POLICY_REGISTRY` for lookup by name.
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.comm.matrix import CommMatrix
 from repro.exec.cache import cached_tree_match
@@ -33,6 +33,9 @@ from repro.treematch.algorithm import TreeMatchResult
 from repro.treematch.mapping import Mapping
 from repro.util.rng import SeedLike, make_rng
 from repro.util.validate import ValidationError
+
+if TYPE_CHECKING:
+    from repro.placement.service import Decision, PlacementService
 
 
 class PlacementPolicy(abc.ABC):
@@ -71,7 +74,13 @@ class CompactPolicy(PlacementPolicy):
 
     name = "compact"
 
-    def place(self, topo, n_threads, matrix=None, labels=None):
+    def place(
+        self,
+        topo: Topology,
+        n_threads: int,
+        matrix: Optional[CommMatrix] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Mapping:
         pus = topo.pus()
         pu_of = tuple(pus[t % len(pus)].os_index for t in range(n_threads))
         return Mapping(pu_of, self._labels(n_threads, labels), policy=self.name)
@@ -82,7 +91,13 @@ class ScatterPolicy(PlacementPolicy):
 
     name = "scatter"
 
-    def place(self, topo, n_threads, matrix=None, labels=None):
+    def place(
+        self,
+        topo: Topology,
+        n_threads: int,
+        matrix: Optional[CommMatrix] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Mapping:
         chosen = distribute(topo, n_threads)
         pu_of = tuple(pu.os_index for pu in chosen)
         return Mapping(pu_of, self._labels(n_threads, labels), policy=self.name)
@@ -93,7 +108,13 @@ class RoundRobinPolicy(PlacementPolicy):
 
     name = "round-robin"
 
-    def place(self, topo, n_threads, matrix=None, labels=None):
+    def place(
+        self,
+        topo: Topology,
+        n_threads: int,
+        matrix: Optional[CommMatrix] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Mapping:
         os_indices = sorted(pu.os_index for pu in topo.pus())
         pu_of = tuple(os_indices[t % len(os_indices)] for t in range(n_threads))
         return Mapping(pu_of, self._labels(n_threads, labels), policy=self.name)
@@ -107,7 +128,13 @@ class RandomPolicy(PlacementPolicy):
     def __init__(self, seed: SeedLike = None) -> None:
         self._rng = make_rng(seed)
 
-    def place(self, topo, n_threads, matrix=None, labels=None):
+    def place(
+        self,
+        topo: Topology,
+        n_threads: int,
+        matrix: Optional[CommMatrix] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Mapping:
         os_indices = [pu.os_index for pu in topo.pus()]
         picks = self._rng.integers(0, len(os_indices), size=n_threads)
         pu_of = tuple(os_indices[int(k)] for k in picks)
@@ -124,7 +151,13 @@ class NoBindPolicy(PlacementPolicy):
 
     name = "nobind"
 
-    def place(self, topo, n_threads, matrix=None, labels=None):
+    def place(
+        self,
+        topo: Topology,
+        n_threads: int,
+        matrix: Optional[CommMatrix] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Mapping:
         return Mapping(
             tuple(-1 for _ in range(n_threads)),
             self._labels(n_threads, labels),
@@ -155,7 +188,13 @@ class TreeMatchPolicy(PlacementPolicy):
         self.refine = refine
         self.last_result: Optional[TreeMatchResult] = None
 
-    def place(self, topo, n_threads, matrix=None, labels=None):
+    def place(
+        self,
+        topo: Topology,
+        n_threads: int,
+        matrix: Optional[CommMatrix] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Mapping:
         if matrix is None:
             raise ValidationError("TreeMatchPolicy requires a communication matrix")
         if matrix.order != n_threads:
@@ -200,8 +239,8 @@ class ServicePolicy(PlacementPolicy):
     def __init__(self, strategy: str = "auto", refine: bool = True) -> None:
         self.strategy = strategy
         self.refine = refine
-        self._services: dict[str, "PlacementService"] = {}
-        self.last_decision = None
+        self._services: dict[str, PlacementService] = {}
+        self.last_decision: Optional[Decision] = None
 
     def service_for(self, topo: Topology) -> "PlacementService":
         """The (lazily created) service bound to *topo*."""
@@ -217,7 +256,13 @@ class ServicePolicy(PlacementPolicy):
             self._services[key] = svc
         return svc
 
-    def place(self, topo, n_threads, matrix=None, labels=None):
+    def place(
+        self,
+        topo: Topology,
+        n_threads: int,
+        matrix: Optional[CommMatrix] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> Mapping:
         if matrix is None:
             raise ValidationError("ServicePolicy requires a communication matrix")
         if matrix.order != n_threads:

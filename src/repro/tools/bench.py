@@ -25,6 +25,12 @@ a performance trajectory across commits.  Sections:
   walls, the warm speedup, per-run hit/miss/store counters, and a
   bit-identity verdict between the cold and cached results.  Skipped
   under ``--no-cache``.
+* ``dag`` — the :mod:`repro.tasks` layer: DAG compile throughput
+  (tasks/second through ``compile_graph``) and the E7 placement sweep
+  run serially vs through the process pool, with per-workload simulated
+  means, Bind-vs-NoBind speedups, and a bit-identity verdict from the
+  per-point run fingerprints (gated by
+  ``benchmarks/bench_dag_workloads.py``).
 
 Usage::
 
@@ -365,6 +371,90 @@ def bench_placement_service(
     }
 
 
+def bench_dag(
+    seeds: int = 3, n_cores: int = 16, scale: int = 2, seed: int = 0
+) -> dict[str, Any]:
+    """DAG compile throughput plus the E7 sweep serial vs parallel.
+
+    Compile throughput is tasks/second through
+    :func:`repro.tasks.compile_graph` over the three workload families
+    (graph build included — the number a user-facing frontend spends
+    before the first simulated event).  The sweep half mirrors the
+    ``fig1`` section: the same E7 run serially and through the process
+    pool with ``point_cache=False``, every replicate fingerprinted, and
+    a bit-identity verdict across all of them.  Per-workload simulated
+    means and Bind-vs-NoBind speedups are the deterministic rows the
+    regression gate checks.
+    """
+    from repro.experiments.dag import build_workload, run_dag
+    from repro.tasks import compile_graph
+
+    compile_rows = []
+    for workload in ("cholesky", "bfs", "divconq"):
+        t0 = time.perf_counter()
+        graph = build_workload(workload, scale=scale)
+        compile_graph(graph)
+        wall = time.perf_counter() - t0
+        compile_rows.append({
+            "workload": workload,
+            "tasks": graph.n_tasks,
+            "edges": graph.n_edges,
+            "wall_s": wall,
+            "tasks_per_sec": graph.n_tasks / wall if wall > 0 else 0.0,
+        })
+
+    t0 = time.perf_counter()
+    serial = run_dag(
+        n_cores=n_cores, scale=scale, seed=seed, seeds=seeds,
+        fingerprint=True, n_workers=1, point_cache=False,
+    )
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_dag(
+        n_cores=n_cores, scale=scale, seed=seed, seeds=seeds,
+        fingerprint=True, n_workers=0, point_cache=False,
+    )
+    parallel_wall = time.perf_counter() - t0
+
+    serial_reps = [p for reps in serial.replicates.values() for p in reps]
+    parallel_reps = [p for reps in parallel.replicates.values() for p in reps]
+    identical = [
+        (a.workload, a.policy) == (b.workload, b.policy)
+        and a.time == b.time
+        and a.fingerprint == b.fingerprint
+        for a, b in zip(serial_reps, parallel_reps)
+    ]
+    return {
+        "n_cores": n_cores,
+        "scale": scale,
+        "seeds": seeds,
+        "compile": compile_rows,
+        "n_runs": len(serial_reps),
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "bit_identical": all(identical) and len(identical) == len(serial_reps),
+        "stats": [
+            {
+                "workload": workload,
+                "policy": policy,
+                "n": s.n,
+                "mean": s.mean,
+                "median": s.median,
+                "stddev": s.stddev,
+                "ci_lo": s.ci_lo,
+                "ci_hi": s.ci_hi,
+                "confidence": s.confidence,
+            }
+            for (workload, policy), s in sorted(serial.seed_stats.items())
+        ],
+        "bind_speedups": {
+            workload: serial.speedup(workload, "nobind")
+            for workload in serial.workloads
+        },
+    }
+
+
 def compare_reports(
     current: dict[str, Any],
     baseline: dict[str, Any],
@@ -436,6 +526,54 @@ def compare_reports(
         passed.append(
             f"bit-identical serial/parallel: {cur_fig1['bit_identical']}"
         )
+
+    # The dag section is gated only when the baseline has one, so
+    # pre-E7 baseline files keep working unchanged.
+    base_dag = baseline.get("dag", {})
+    cur_dag = current.get("dag", {})
+    if base_dag:
+        base_rows = {
+            (row["workload"], row["policy"]): row
+            for row in base_dag.get("stats", [])
+        }
+        cur_rows = {
+            (row["workload"], row["policy"]): row
+            for row in cur_dag.get("stats", [])
+        }
+        if not cur_rows:
+            failed.append(
+                "current run has no dag stats section (run --compare with "
+                "--seeds N, N > 1)"
+            )
+        for key, base_row in sorted(base_rows.items()):
+            workload, policy = key
+            name = f"dag {workload}/{policy}"
+            cur_row = cur_rows.get(key)
+            if cur_row is None:
+                failed.append(f"{name}: point missing from current run")
+                continue
+            limit = base_row["ci_hi"] * (1.0 + threshold)
+            line = (
+                f"{name}: mean {cur_row['mean']:.6f} vs baseline "
+                f"{base_row['mean']:.6f} (limit {limit:.6f})"
+            )
+            if cur_row["mean"] > limit:
+                failed.append(
+                    f"{line} — regressed "
+                    f"{cur_row['mean'] / base_row['mean']:.2f}x"
+                )
+            else:
+                passed.append(line)
+        if base_dag.get("bit_identical") and not cur_dag.get("bit_identical"):
+            failed.append(
+                "dag serial/parallel sweeps no longer bit-identical "
+                "(baseline was bit-identical)"
+            )
+        elif "bit_identical" in cur_dag:
+            passed.append(
+                f"dag bit-identical serial/parallel: "
+                f"{cur_dag['bit_identical']}"
+            )
     return passed, failed
 
 
@@ -542,6 +680,24 @@ def main(argv: list[str] | None = None) -> int:
               f"speedup: {cc['warm_speedup']:.1f}x   "
               f"hit rate: {cc['warm_hit_rate']:.0%}   "
               f"bit-identical: {cc['bit_identical']}")
+
+    dag_seeds = 3 if args.quick else 5
+    dag_cores = 16 if args.quick else 32
+    print(f"[bench] dag compile + E7 sweep serial vs parallel "
+          f"(cores={dag_cores}, seeds={dag_seeds})...")
+    report["dag"] = bench_dag(seeds=dag_seeds, n_cores=dag_cores,
+                              seed=args.seed)
+    dg = report["dag"]
+    for row in dg["compile"]:
+        print(f"  compile {row['workload']:>8}: {row['tasks']} tasks in "
+              f"{row['wall_s'] * 1e3:.1f}ms "
+              f"({row['tasks_per_sec']:,.0f} tasks/s)")
+    print(f"  sweep serial: {dg['serial_wall_s']:.2f}s   "
+          f"parallel: {dg['parallel_wall_s']:.2f}s   "
+          f"speedup: {dg['speedup']:.2f}x   "
+          f"bit-identical: {dg['bit_identical']}")
+    for workload, s in sorted(dg["bind_speedups"].items()):
+        print(f"  bind vs nobind on {workload}: {s:.2f}x")
 
     ps_concurrent = 1000 if args.quick else 2000
     print(f"[bench] placement service cold/warm latency + "

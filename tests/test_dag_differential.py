@@ -1,0 +1,159 @@
+"""DAG differential suite: determinism and liveness of repro.tasks.
+
+Three layers pin the frontend's contract:
+
+* **property layer** — hypothesis generates random task graphs (random
+  region sizes, read/write sets, explicit dependency edges, mixed task
+  costs) and every one must (a) compile and run to completion — no
+  deadlock, which holds by construction because spawn order is
+  topological and only READ acquisitions block — and (b) respect every
+  declared dependency in the simulated schedule
+  (``ready[consumer] >= published[producer]``).
+* **engine layer** — the same random DAGs must produce bit-identical
+  run fingerprints on the batched and the scalar engine.
+* **sweep layer** — the E7 experiment must be bit-identical between
+  serial and multi-process sweeps and between cold and warm-cache
+  reruns (the content-addressed point store serving every point).
+
+Example counts are CI-bounded; crank ``max_examples`` locally when
+touching the frontend or the compiler.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.dag import run_dag
+from repro.tasks import TaskGraph, run_graph, topological_check
+
+REGION_SIZES = st.sampled_from([0.0, 64.0, 1024.0, 65536.0])
+TASK_FLOPS = st.sampled_from([0.0, 1e4, 1e6])
+
+
+@st.composite
+def task_graphs(draw) -> TaskGraph:
+    """A random DAG: regions, read/write sets, explicit control edges."""
+    n_regions = draw(st.integers(1, 5))
+    sizes = [draw(REGION_SIZES) for _ in range(n_regions)]
+    n_tasks = draw(st.integers(2, 10))
+    g = TaskGraph("rand")
+    regions = [g.region(f"r{k}", sizes[k]) for k in range(n_regions)]
+    t = g.space("T")
+    region_idx = st.sets(st.integers(0, n_regions - 1), max_size=3)
+    for i in range(n_tasks):
+        reads = [regions[k] for k in sorted(draw(region_idx))]
+        writes = [regions[k] for k in sorted(draw(region_idx))]
+        deps = []
+        if i > 0:
+            deps = [
+                t[j]
+                for j in sorted(draw(st.sets(st.integers(0, i - 1), max_size=3)))
+            ]
+        g.spawn(
+            t[i],
+            flops=draw(TASK_FLOPS),
+            reads=reads,
+            writes=writes,
+            deps=deps,
+        )
+    return g
+
+
+class TestRandomDagProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(graph=task_graphs(), seed=st.integers(0, 3))
+    def test_never_deadlocks_and_respects_dependencies(self, graph, seed):
+        res = run_graph(graph, seed=seed, record_times=True)
+        # every task completed: the liveness half of the contract
+        assert len(res.times.done) == graph.n_tasks
+        # every edge respected: the safety half
+        assert res.schedule_ok(graph)
+        assert topological_check(res.times.completion_order(), graph) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=task_graphs())
+    def test_compiled_program_validates(self, graph):
+        from repro.tasks import compile_graph
+
+        prog = compile_graph(graph)
+        prog.validate()
+        assert len(prog.tasks) == graph.n_tasks
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=task_graphs(), seed=st.integers(0, 3))
+    def test_batched_and_scalar_engines_identical(self, graph, seed):
+        batched = run_graph(graph, seed=seed, trace=True, engine_mode="batched")
+        scalar = run_graph(graph, seed=seed, trace=True, engine_mode="scalar")
+        assert batched.time == scalar.time
+        assert batched.fingerprint() == scalar.fingerprint()
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=task_graphs())
+    def test_digest_is_injective_on_reruns(self, graph):
+        # same structure -> same digest, and the matrix digest keys the
+        # placement cache by that structure
+        assert graph.digest() == graph.digest()
+        from repro.exec.cache import matrix_digest
+        from repro.tasks import dag_matrix
+
+        if graph.n_edges:
+            assert matrix_digest(dag_matrix(graph)) == matrix_digest(
+                dag_matrix(graph)
+            )
+
+
+class TestSweepIdentity:
+    WORKLOADS = ("cholesky", "bfs")
+    KW = dict(
+        workloads=WORKLOADS,
+        policies=("bind", "nobind"),
+        n_cores=16,
+        scale=1,
+        seeds=2,
+        fingerprint=True,
+    )
+
+    @staticmethod
+    def _flat(result):
+        return [
+            (p.workload, p.policy, p.time, p.fingerprint, p.graph_digest)
+            for reps in result.replicates.values()
+            for p in reps
+        ]
+
+    def test_serial_equals_parallel_workers(self):
+        serial = run_dag(n_workers=1, point_cache=False, **self.KW)
+        parallel = run_dag(n_workers=2, point_cache=False, **self.KW)
+        assert self._flat(serial) == self._flat(parallel)
+
+    def test_warm_cache_rerun_is_bit_identical(self, tmp_path):
+        from repro.exec.cache import PointCache
+
+        cold_cache = PointCache(tmp_path / "points")
+        cold = run_dag(n_workers=1, point_cache=cold_cache, **self.KW)
+        assert cold_cache.misses > 0 and cold_cache.hits == 0
+
+        warm_cache = PointCache(tmp_path / "points")
+        warm = run_dag(n_workers=1, point_cache=warm_cache, **self.KW)
+        assert warm_cache.hits > 0 and warm_cache.misses == 0
+        assert self._flat(cold) == self._flat(warm)
+
+    def test_graph_seed_changes_the_cache_key(self, tmp_path):
+        # a different DAG structure must never be served a cached point
+        from repro.exec.cache import PointCache
+
+        cache = PointCache(tmp_path / "points")
+        first = run_dag(
+            n_workers=1, point_cache=cache, graph_seed=0, **self.KW
+        )
+        second = run_dag(
+            n_workers=1, point_cache=cache, graph_seed=1, **self.KW
+        )
+        # bfs structure changed with the graph seed -> fresh misses
+        assert cache.misses > len(self._flat(first))
+        bfs_digests = {
+            p.graph_digest
+            for p in first.points + second.points
+            if p.workload == "bfs"
+        }
+        assert len(bfs_digests) == 2

@@ -236,7 +236,10 @@ class TestBenchCompareGate:
         baseline = self._baseline()
         passed, failed = compare_reports(baseline, baseline)
         assert failed == []
-        assert len(passed) == len(baseline["fig1"]["stats"]) + 1
+        expected = len(baseline["fig1"]["stats"]) + 1  # + bit-identical
+        if "dag" in baseline:
+            expected += len(baseline["dag"]["stats"]) + 1
+        assert len(passed) == expected
 
     def test_regressed_current_fails(self):
         baseline = self._baseline()

@@ -1,0 +1,295 @@
+"""The repro.tasks frontend: API, inference, compilation, matrices."""
+
+import numpy as np
+import pytest
+
+from repro.placement.affinity import static_matrix
+from repro.placement.binder import bind_program, task_matrix
+from repro.tasks import (
+    Region,
+    TaskGraph,
+    TaskTimes,
+    compile_graph,
+    dag_matrix,
+    edge_location_name,
+    run_graph,
+    topological_check,
+)
+from repro.util.validate import ValidationError
+
+
+def diamond() -> TaskGraph:
+    """A -> (B, C) -> D over two regions."""
+    g = TaskGraph("diamond")
+    a = g.region("a", nbytes=1000.0)
+    b = g.region("b", nbytes=500.0)
+    t = g.space("T")
+    g.spawn(t[0], flops=1e6, writes=[a])
+    g.spawn(t[1], flops=1e6, reads=[a], writes=[b])
+    g.spawn(t[2], flops=1e6, reads=[a])
+    g.spawn(t[3], flops=1e6, reads=[b], deps=[t[2]])
+    return g
+
+
+class TestFrontendApi:
+    def test_taskspace_naming(self):
+        g = TaskGraph("g")
+        t = g.space("T")
+        assert t[3].name == "T[3]"
+        assert t[1, 2].name == "T[1,2]"
+        assert t().name == "T"
+        assert str(t[0]) == "T[0]"
+
+    def test_space_index_must_be_int(self):
+        g = TaskGraph("g")
+        t = g.space("T")
+        with pytest.raises(ValidationError, match="must be ints"):
+            t["x"]
+
+    def test_region_validation(self):
+        with pytest.raises(ValidationError):
+            Region("", 10.0)
+        with pytest.raises(ValidationError):
+            Region("r", -1.0)
+        g = TaskGraph("g")
+        g.region("r", 10.0)
+        with pytest.raises(ValidationError, match="duplicate region"):
+            g.region("r", 10.0)
+
+    def test_double_spawn_rejected(self):
+        g = TaskGraph("g")
+        t = g.space("T")
+        g.spawn(t[0], flops=1.0)
+        with pytest.raises(ValidationError, match="already spawned"):
+            g.spawn(t[0], flops=1.0)
+
+    def test_foreign_region_rejected(self):
+        g = TaskGraph("g")
+        other = TaskGraph("other")
+        r = other.region("r", 10.0)
+        with pytest.raises(ValidationError, match="not declared"):
+            g.spawn("t", reads=[r])
+
+    def test_forward_dependency_rejected(self):
+        g = TaskGraph("g")
+        t = g.space("T")
+        with pytest.raises(ValidationError, match="not been spawned"):
+            g.spawn(t[0], deps=[t[1]])
+
+    def test_negative_costs_rejected(self):
+        g = TaskGraph("g")
+        with pytest.raises(ValidationError):
+            g.spawn("t", flops=-1.0)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValidationError, match="no tasks"):
+            TaskGraph("g").validate()
+
+
+class TestDependencyInference:
+    def test_raw_edge_carries_payload(self):
+        g = TaskGraph("g")
+        a = g.region("a", nbytes=1000.0)
+        g.spawn("w", writes=[a])
+        r = g.spawn("r", reads=[a])
+        assert r.deps == (0,)
+        assert g.edges() == [(0, 1, 1000.0)]
+
+    def test_waw_edge_is_zero_byte(self):
+        g = TaskGraph("g")
+        a = g.region("a", nbytes=1000.0)
+        g.spawn("w1", writes=[a])
+        w2 = g.spawn("w2", writes=[a])
+        assert w2.deps == (0,)
+        assert g.edges() == [(0, 1, 0.0)]
+
+    def test_renaming_reader_binds_to_its_version(self):
+        # A reader depends on the most recent writer at spawn time and
+        # is independent of later writers (no WAR edges).
+        g = TaskGraph("g")
+        a = g.region("a", nbytes=100.0)
+        g.spawn("w1", writes=[a])
+        g.spawn("r1", reads=[a])
+        g.spawn("w2", writes=[a])
+        r2 = g.spawn("r2", reads=[a])
+        assert g.task("r1").deps == (0,)
+        assert r2.deps == (2,)
+        # w2 serializes against w1 (WAW), not against the reader.
+        assert g.task("w2").deps == (0,)
+
+    def test_explicit_deps_are_zero_byte(self):
+        g = TaskGraph("g")
+        t = g.space("T")
+        g.spawn(t[0])
+        g.spawn(t[1], deps=[t[0]])
+        assert g.edges() == [(0, 1, 0.0)]
+
+    def test_read_of_unwritten_region_is_initial_data(self):
+        g = TaskGraph("g")
+        a = g.region("a", nbytes=100.0)
+        t = g.spawn("t", reads=[a])
+        assert t.deps == ()
+        assert g.n_edges == 0
+
+    def test_duplicate_inferred_and_explicit_dep_single_edge(self):
+        g = TaskGraph("g")
+        a = g.region("a", nbytes=100.0)
+        t = g.space("T")
+        g.spawn(t[0], writes=[a])
+        g.spawn(t[1], reads=[a], deps=[t[0]])
+        assert g.edges() == [(0, 1, 100.0)]
+
+
+class TestAnalysis:
+    def test_diamond_shape(self):
+        g = diamond()
+        assert g.n_tasks == 4
+        assert g.sources() == [0]
+        assert g.sinks() == [3]
+        assert g.levels() == [[0], [1, 2], [3]]
+        span, path = g.critical_path()
+        assert span == 3e6
+        assert len(path) == 3
+        assert path[0] == "T[0]" and path[-1] == "T[3]"
+        assert g.parallelism() == pytest.approx(4e6 / 3e6)
+
+    def test_total_payload(self):
+        assert diamond().total_payload_bytes() == 1000.0 + 1000.0 + 500.0
+
+    def test_topological_check_helper(self):
+        g = diamond()
+        assert topological_check(["T[0]", "T[1]", "T[2]", "T[3]"], g) is None
+        assert "before its dependency" in topological_check(
+            ["T[3]", "T[0]", "T[1]", "T[2]"], g
+        )
+        assert "missing" in topological_check(["T[0]"], g)
+        assert "twice" in topological_check(
+            ["T[0]", "T[0]", "T[1]", "T[2]", "T[3]"], g
+        )
+
+
+class TestDigest:
+    def test_digest_stable(self):
+        assert diamond().digest() == diamond().digest()
+
+    def test_digest_covers_structure_and_costs(self):
+        base = diamond().digest()
+        g = diamond()
+        g.spawn("extra", flops=1.0)
+        assert g.digest() != base
+
+        g2 = TaskGraph("diamond")
+        a = g2.region("a", nbytes=1000.0)
+        b = g2.region("b", nbytes=500.0)
+        t = g2.space("T")
+        g2.spawn(t[0], flops=2e6, writes=[a])  # different cost
+        g2.spawn(t[1], flops=1e6, reads=[a], writes=[b])
+        g2.spawn(t[2], flops=1e6, reads=[a])
+        g2.spawn(t[3], flops=1e6, reads=[b], deps=[t[2]])
+        assert g2.digest() != base
+
+
+class TestCompile:
+    def test_one_location_per_edge(self):
+        g = diamond()
+        prog = compile_graph(g)
+        tasks = g.tasks()
+        names = {
+            edge_location_name(tasks[u].name, tasks[v].name)
+            for u, v, _ in g.edges()
+        }
+        assert set(prog.locations) == names
+        # one ORWL task with a single op per DAG task
+        assert len(prog.tasks) == g.n_tasks
+        for decl in prog.tasks.values():
+            assert len(decl.operations) == 1
+
+    def test_edge_location_sizes_and_owners(self):
+        g = diamond()
+        prog = compile_graph(g)
+        loc = prog.locations[edge_location_name("T[0]", "T[1]")]
+        assert loc.nbytes == 1000.0
+        assert loc.owner_task == "T[0]"
+        sync = prog.locations[edge_location_name("T[2]", "T[3]")]
+        assert sync.nbytes == 0.0
+
+    def test_dag_matrix_matches_static_extraction(self):
+        # The DAG edge extraction must agree bit-for-bit with the
+        # generic ORWL static extraction over the compiled program.
+        g = diamond()
+        prog = compile_graph(g)
+        from_static = task_matrix(prog, static_matrix(prog))
+        from_dag = dag_matrix(g)
+        assert np.array_equal(from_static.values, from_dag.values)
+        assert list(from_static.labels) == list(from_dag.labels)
+
+    def test_dag_matrix_labels_key_the_structure(self):
+        g = diamond()
+        m = dag_matrix(g)
+        assert list(m.labels) == [t.name for t in g.tasks()]
+        from repro.exec.cache import matrix_digest
+
+        g2 = TaskGraph("diamond")
+        a = g2.region("a", nbytes=1000.0)
+        b = g2.region("b", nbytes=500.0)
+        t = g2.space("U")  # same volumes, different task names
+        g2.spawn(t[0], flops=1e6, writes=[a])
+        g2.spawn(t[1], flops=1e6, reads=[a], writes=[b])
+        g2.spawn(t[2], flops=1e6, reads=[a])
+        g2.spawn(t[3], flops=1e6, reads=[b], deps=[t[2]])
+        assert matrix_digest(m) != matrix_digest(dag_matrix(g2))
+
+
+class TestRun:
+    def test_schedule_respects_dependencies(self, small_topo):
+        g = diamond()
+        res = run_graph(g, topo=small_topo, record_times=True)
+        assert res.schedule_ok(g)
+        times = res.times
+        assert topological_check(times.completion_order(), g) is None
+        # concrete happens-before on the heavy edge
+        assert times.ready["T[3]"] >= times.published["T[1]"]
+
+    def test_makespan_positive_and_metrics(self, small_topo):
+        res = run_graph(diamond(), topo=small_topo)
+        assert res.time > 0
+        assert res.metrics is res.run.metrics
+
+    def test_all_policies_complete(self, small_topo):
+        for policy in ("treematch", "nobind", "service", "compact", "scatter"):
+            res = run_graph(
+                diamond(), topo=small_topo, policy=policy, record_times=True
+            )
+            assert res.schedule_ok(diamond()), policy
+
+    def test_schedule_ok_requires_times(self, small_topo):
+        res = run_graph(diamond(), topo=small_topo)
+        with pytest.raises(ValidationError, match="record_times"):
+            res.schedule_ok(diamond())
+
+    def test_times_via_compile_graph(self, small_topo):
+        # TaskTimes also works through the low-level compile path.
+        from repro.orwl.runtime import Runtime
+        from repro.simulate.machine import Machine
+
+        g = diamond()
+        times = TaskTimes()
+        prog = compile_graph(g, times=times)
+        plan = bind_program(prog, small_topo, matrix=dag_matrix(g))
+        Runtime(
+            prog,
+            Machine(small_topo, seed=0),
+            mapping=plan.mapping,
+            control_mapping=plan.control_mapping,
+        ).run()
+        assert len(times.done) == g.n_tasks
+
+    def test_stream_bytes_add_traffic(self, small_topo):
+        def build(stream: float) -> TaskGraph:
+            g = TaskGraph("s")
+            g.spawn("t", flops=1e6, stream_bytes=stream)
+            return g
+
+        lean = run_graph(build(0.0), topo=small_topo)
+        heavy = run_graph(build(1 << 24), topo=small_topo)
+        assert heavy.time > lean.time
