@@ -62,7 +62,12 @@ from repro.exec.cache import (
     reset_cache_stats,
     topology_fingerprint,
 )
-from repro.exec.progress import SweepEvent, log_progress, tracer_progress
+from repro.exec.progress import (
+    ProgressBar,
+    SweepEvent,
+    log_progress,
+    tracer_progress,
+)
 from repro.exec.runner import (
     ExecError,
     SweepRunner,
@@ -89,6 +94,7 @@ __all__ = [
     "default_point_cache",
     "derive_seed",
     "log_progress",
+    "ProgressBar",
     "machine_inputs",
     "matrix_digest",
     "point_key",

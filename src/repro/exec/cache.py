@@ -384,6 +384,9 @@ def _disk_load(path: Path, key: str) -> Optional[tuple[Any]]:
 
     Wrong schema, wrong key, sha mismatch, truncation, unpicklable
     garbage, missing file — all read as a miss; the caller recomputes.
+    A file that *exists* but fails validation additionally bumps the
+    ``disk_corrupt_miss`` counter, separating "never stored" from
+    "stored and rotted" in sweep stats and metrics.
     """
     try:
         with open(path, "rb") as fh:
@@ -393,12 +396,17 @@ def _disk_load(path: Path, key: str) -> Optional[tuple[Any]]:
             or payload.get("schema") != CACHE_SCHEMA_VERSION
             or payload.get("key") != key
         ):
+            _bump("disk_corrupt_miss")
             return None
         blob = payload["blob"]
         if hashlib.sha256(blob).hexdigest() != payload["sha256"]:
+            _bump("disk_corrupt_miss")
             return None
         return (pickle.loads(blob),)
+    except FileNotFoundError:
+        return None
     except Exception:
+        _bump("disk_corrupt_miss")
         return None
 
 

@@ -5,19 +5,22 @@ tests watch it move.  The runner calls every registered callback with a
 :class:`SweepEvent` from the *parent* process (worker processes never
 emit), so callbacks are free to print, log, or append to shared state.
 
-Two ready-made sinks:
+Three ready-made sinks:
 
 * :func:`log_progress` — one log line per event via ``repro.util.log``;
 * :func:`tracer_progress` — mirror events into a
   :class:`repro.observe.Tracer` stream as kind-``"sweep"`` instants, so
   a sweep's schedule lands in the same JSONL/Chrome exports as the
-  simulations it ran.
+  simulations it ran;
+* :class:`ProgressBar` — a single in-place terminal progress line with
+  a cache-aware ETA.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Optional, TextIO
 
 from repro.util.log import get_logger
 
@@ -115,3 +118,64 @@ def tracer_progress(tracer: "Tracer") -> ProgressCallback:
         )
 
     return callback
+
+
+class ProgressBar:
+    """An in-place terminal progress line with a cache-aware ETA.
+
+    ``[########------------] 12/40 done (5 cached) eta 12s``
+
+    Cached points complete in microseconds, so folding them into the
+    per-point cost estimate makes the ETA collapse toward zero the
+    moment a warm sweep starts and then balloon when real work begins.
+    The bar instead derives cost from *simulated* points only —
+    ``elapsed / (done - cached)`` — and projects it over the points
+    still outstanding, which assumes the worst case (none of them
+    cached) and therefore only ever shortens.
+
+    Use as an ``on_event`` callback::
+
+        runner = SweepRunner(on_event=ProgressBar())
+
+    Writes to *stream* (default stderr) with ``\\r`` redraws; emits a
+    final newline on ``sweep_end``.  Renders nothing for non-progress
+    events, so it composes with :func:`log_progress` for crash/retry
+    visibility.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, width: int = 20):
+        self.stream = stream if stream is not None else sys.stderr
+        self.width = width
+        self.cached = 0
+        self._open = False
+
+    def render(self, event: SweepEvent) -> str:
+        """The bar line for *event* (pure; exercised directly by tests)."""
+        total = max(event.total, 1)
+        frac = min(1.0, event.done / total)
+        filled = int(frac * self.width)
+        bar = "#" * filled + "-" * (self.width - filled)
+        line = f"[{bar}] {event.done}/{event.total} done"
+        if self.cached:
+            line += f" ({self.cached} cached)"
+        simulated = event.done - self.cached
+        remaining = event.total - event.done
+        if remaining <= 0:
+            line += f" in {event.ts:.1f}s"
+        elif simulated > 0 and event.ts > 0:
+            eta = remaining * (event.ts / simulated)
+            line += f" eta {eta:.0f}s"
+        return line
+
+    def __call__(self, event: SweepEvent) -> None:
+        if event.kind == "sweep_start":
+            self.cached = 0
+        elif event.kind == "point_done" and event.detail == "cached":
+            self.cached += 1
+        if event.kind in ("sweep_start", "point_done", "sweep_end"):
+            self.stream.write("\r" + self.render(event) + "\x1b[K")
+            self._open = True
+            if event.kind == "sweep_end":
+                self.stream.write("\n")
+                self._open = False
+            self.stream.flush()

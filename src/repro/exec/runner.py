@@ -35,6 +35,7 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.exec import cache as cache_mod
 from repro.exec.progress import ProgressCallback, SweepEvent
+from repro.metrics import core as metrics_core
 from repro.util.validate import ValidationError
 
 
@@ -117,22 +118,36 @@ _MISSING = object()
 
 def _run_chunk(
     items: list[tuple[int, Callable, dict]],
-) -> tuple[list[tuple[int, Any]], dict[str, int]]:
+) -> tuple[list[tuple[int, Any]], dict[str, int], dict[str, Any]]:
     """Worker body: run one chunk, return ``(index, result)`` pairs plus
-    the chunk's cache-counter delta.
+    the chunk's cache-counter delta and (when enabled) its metric delta.
 
     Cache hits (placement memo, shared-memory attaches) happen inside
     worker processes, invisible to the parent; snapshotting the
     counters around the chunk and shipping the delta home is what lets
-    the parent aggregate sweep-wide hit rates.  Runs in the worker
-    process; anything it raises is pickled back and re-raised from the
-    future (worker stays alive).  A worker *dying* instead (os._exit,
-    segfault, OOM kill) surfaces in the parent as
+    the parent aggregate sweep-wide hit rates.  The metric registry
+    ships the same way (``dump``/``diff_dumps``/``merge`` — works under
+    fork *and* spawn, since ``REPRO_METRICS`` rides the environment).
+    Runs in the worker process; anything it raises is pickled back and
+    re-raised from the future (worker stays alive).  A worker *dying*
+    instead (os._exit, segfault, OOM kill) surfaces in the parent as
     :class:`BrokenProcessPool`.
     """
     before = cache_mod.cache_stats()
+    metrics_on = metrics_core.is_enabled()
+    metrics_before = metrics_core.registry().dump() if metrics_on else None
+    chunk_t0 = time.perf_counter()
     pairs = [(index, fn(**kwargs)) for index, fn, kwargs in items]
-    return pairs, cache_mod.stats_delta(before)
+    metrics_delta: dict[str, Any] = {}
+    if metrics_before is not None:
+        reg = metrics_core.registry()
+        reg.histogram(
+            "sweep_chunk_wall_seconds",
+            "Wall-clock time per dispatched chunk",
+            stable=False,
+        ).observe(time.perf_counter() - chunk_t0)
+        metrics_delta = metrics_core.diff_dumps(metrics_before, reg.dump())
+    return pairs, cache_mod.stats_delta(before), metrics_delta
 
 
 class SweepRunner:
@@ -310,6 +325,21 @@ class SweepRunner:
             "mode": mode,
             "cached_points": len(hits),
         }
+        metrics_on = metrics_core.is_enabled()
+        if metrics_on:
+            reg = metrics_core.registry()
+            reg.counter("sweep_runs_total", "SweepRunner.map calls").inc()
+            reg.counter("sweep_points_total", "Sweep points requested").inc(
+                total
+            )
+            reg.counter(
+                "sweep_points_cached_total",
+                "Points served by the content-addressed cache",
+            ).inc(len(hits))
+            reg.counter(
+                "sweep_points_dispatched_total",
+                "Points actually simulated",
+            ).inc(len(todo))
         self._emit(
             "sweep_start", t0, total=total,
             detail=f"workers={self.n_workers} mode={mode}"
@@ -339,6 +369,32 @@ class SweepRunner:
                     f"{k}={v}" for k, v in sorted(cache_totals.items())
                 ),
             )
+        if metrics_on:
+            reg = metrics_core.registry()
+            wall = time.perf_counter() - t0
+            # Separate namespace from the per-process ``exec_cache_*``
+            # mirror: these are the parent's sweep-wide aggregates
+            # (worker deltas folded in), and they depend on worker
+            # layout, hence unstable.
+            for key, value in sorted(cache_totals.items()):
+                reg.counter(
+                    f"sweep_cache_{key}_total",
+                    f"Sweep-aggregated exec.cache counter {key!r}",
+                    stable=False,
+                ).inc(value)
+            reg.counter(
+                "sweep_worker_crashes_total",
+                "BrokenProcessPool pool rebuilds across sweeps",
+                stable=False,
+            ).inc(self.last_stats["crashes"])
+            reg.gauge(
+                "sweep_last_wall_seconds", "Wall time of the last sweep"
+            ).set(wall)
+            if wall > 0.0:
+                reg.gauge(
+                    "sweep_points_per_sec",
+                    "Completed points/second of the last sweep",
+                ).set(total / wall)
         self.last_stats["wall_s"] = time.perf_counter() - t0
         self._emit("sweep_end", t0, done=total, total=total)
         assert not any(r is _MISSING for r in results)
@@ -396,6 +452,7 @@ class SweepRunner:
             store.publish()
         except (OSError, ValueError, MemoryError):
             store.close()
+            cache_mod.bump_stat("shm_degrade")
             return None
         return store
 
@@ -447,8 +504,10 @@ class SweepRunner:
                     while not_done:
                         done_set, not_done = wait(not_done, return_when=FIRST_COMPLETED)
                         for fut in done_set:
-                            pairs, delta = fut.result()
+                            pairs, delta, metrics_delta = fut.result()
                             cache_mod.merge_stats(worker_stats, delta)
+                            if metrics_delta:
+                                metrics_core.registry().merge(metrics_delta)
                             for i, value in pairs:
                                 results[i] = value
                                 ndone = sum(1 for r in results if r is not _MISSING)
@@ -469,6 +528,12 @@ class SweepRunner:
                     c for c in pending if any(results[i] is _MISSING for i in c)
                 ]
                 remaining = sum(1 for r in results if r is _MISSING)
+                if metrics_core.is_enabled():
+                    metrics_core.registry().counter(
+                        "sweep_chunk_retries_total",
+                        "Chunk resubmissions after pool crashes",
+                        stable=False,
+                    ).inc(len(pending))
                 self._emit(
                     "worker_crash", t0,
                     done=total - remaining, total=total,

@@ -188,6 +188,9 @@ def attach_tables(key: str) -> Optional[dict[str, np.ndarray]]:
                 seg.close()
             except Exception:
                 pass
+        from repro.exec.cache import bump_stat
+
+        bump_stat("shm_attach_fail")
         return None
     _ATTACHED[key] = (views, segments)
     return views

@@ -1,0 +1,60 @@
+"""``repro.metrics`` — online telemetry for the reproduction.
+
+Where :mod:`repro.observe` records *traces* (every event, post-hoc
+analysis) and :mod:`repro.perf` mines them after a run, this package is
+the **live** layer: a process-local :class:`MetricRegistry` of
+counters / gauges / histograms instrumenting the placement service, the
+sweep runner, the cache tiers, and the simulation engine, exposed as
+Prometheus text, canonical-JSON snapshots, an HTTP endpoint, and the
+``repro.tools.top`` dashboard.  See ``docs/observability.md`` for when
+to reach for which layer.
+
+Disabled by default; enable with ``REPRO_METRICS=on`` or
+:func:`enable` (workers inherit via the environment variable).
+"""
+
+from repro.metrics.core import (
+    ENV_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    Metric,
+    MetricRegistry,
+    SIM_TIME_BUCKETS,
+    SIZE_BUCKETS,
+    diff_dumps,
+    disable,
+    enable,
+    exp_buckets,
+    is_enabled,
+    metric_id,
+    registry,
+    reset_registry,
+    set_enabled,
+)
+from repro.metrics.expose import ExpositionError, parse_exposition, render_text
+
+__all__ = [
+    "ENV_METRICS",
+    "Counter",
+    "ExpositionError",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "Metric",
+    "MetricRegistry",
+    "SIM_TIME_BUCKETS",
+    "SIZE_BUCKETS",
+    "diff_dumps",
+    "disable",
+    "enable",
+    "exp_buckets",
+    "is_enabled",
+    "metric_id",
+    "parse_exposition",
+    "registry",
+    "render_text",
+    "reset_registry",
+    "set_enabled",
+]

@@ -1,0 +1,116 @@
+"""Minimal HTTP exposition: ``/metrics`` (Prometheus) + ``/healthz``.
+
+Stdlib-only (``http.server`` on a daemon thread) so the repo stays
+dependency-free.  Used by ``repro.tools.place serve --http PORT``; bind
+port 0 to let the OS pick (the bound port is on
+:attr:`MetricsServer.port`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.metrics import core
+from repro.metrics.core import MetricRegistry
+from repro.metrics.expose import render_text
+
+__all__ = ["MetricsServer"]
+
+HealthFn = Callable[[], dict[str, Any]]
+
+
+def _default_health() -> dict[str, Any]:
+    return {"status": "ok"}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_text(self.server.registry_fn()).encode()
+            self._send(
+                200, body, "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif path == "/healthz":
+            health = self.server.health_fn()
+            status = 200 if health.get("status", "ok") == "ok" else 503
+            body = (json.dumps(health, sort_keys=True) + "\n").encode()
+            self._send(status, body, "application/json")
+        else:
+            self._send(404, b"not found\n", "text/plain")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # silent: the serve loop owns stdout/stderr
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    registry_fn: Callable[[], MetricRegistry]
+    health_fn: HealthFn
+
+
+class MetricsServer:
+    """A background ``/metrics`` + ``/healthz`` HTTP server.
+
+    ``health_fn`` supplies the ``/healthz`` payload (e.g.
+    ``PlacementService.health``); a non-``"ok"`` status turns into HTTP
+    503 so load balancers can act on it.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        registry: MetricRegistry | None = None,
+        health_fn: HealthFn | None = None,
+    ) -> None:
+        self._server = _Server((host, port), _Handler)
+        self._server.registry_fn = (
+            (lambda: registry) if registry is not None else core.registry
+        )
+        self._server.health_fn = health_fn or _default_health
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

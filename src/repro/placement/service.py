@@ -57,6 +57,7 @@ from repro.exec.cache import (
     placement_key,
     topology_fingerprint,
 )
+from repro.metrics import core as metrics_core
 from repro.placement.affinity import matrix_correlation
 from repro.topology.distance import DistanceModel
 from repro.topology.tree import Topology
@@ -270,6 +271,98 @@ class PlacementService:
             self._node_of_pu[pu.os_index] = (
                 node.logical_index if node is not None else 0
             )
+        # Liveness state for health() and the serve CLI.
+        self._started_monotonic = time.monotonic()
+        self._queries_served = 0
+        self._last_error: Optional[str] = None
+        self._last_error_age_t: Optional[float] = None
+
+    # -- telemetry ----------------------------------------------------------
+
+    def _metric_query(self, latency_s: float, *, warm: bool) -> None:
+        """Record one answered query (when metrics are enabled).
+
+        Wall-clock latency histograms are host-dependent, hence
+        unstable; the query/hit/miss counters are parent-process only
+        (the service lives in one process), so they stay stable.
+        """
+        reg = metrics_core.registry()
+        reg.counter("placement_queries_total", "Placement queries answered").inc()
+        if warm:
+            reg.counter(
+                "placement_memo_hits_total", "Queries served from the memo"
+            ).inc()
+            hist = reg.histogram(
+                "placement_warm_seconds",
+                "Warm (memoized) query latency",
+                stable=False,
+            )
+        else:
+            reg.counter(
+                "placement_memo_misses_total", "Queries that computed a mapping"
+            ).inc()
+            hist = reg.histogram(
+                "placement_cold_seconds",
+                "Cold (computed) query latency",
+                stable=False,
+            )
+        hist.observe(latency_s)
+
+    def record_error(self, exc: BaseException) -> None:
+        """Remember the most recent failure for :meth:`health`."""
+        self._last_error = f"{type(exc).__name__}: {exc}"
+        self._last_error_age_t = time.monotonic()
+
+    def health(self) -> dict:
+        """Liveness summary: uptime, queries served, last error.
+
+        ``status`` is ``"ok"`` until an error is recorded via
+        :meth:`record_error` (``"degraded"`` afterwards) — the payload
+        ``repro.tools.place serve``'s ``health`` verb and the HTTP
+        ``/healthz`` endpoint return.
+        """
+        now = time.monotonic()
+        return {
+            "status": "ok" if self._last_error is None else "degraded",
+            "uptime_s": now - self._started_monotonic,
+            "queries_served": self._queries_served,
+            "epoch": self._epoch,
+            "failed": list(self.failed),
+            "drained": list(self.drained),
+            "memo_entries": len(self._memo),
+            "last_error": self._last_error,
+            "last_error_age_s": (
+                None
+                if self._last_error_age_t is None
+                else now - self._last_error_age_t
+            ),
+        }
+
+    def slo(self) -> dict:
+        """Derived p50/p95/p99 SLO lines from the latency histograms.
+
+        Quantiles are bucket-resolution upper bounds (exponential
+        buckets, so within 2x of the true value).  Empty when metrics
+        are disabled or no queries were recorded yet.
+        """
+        if not metrics_core.is_enabled():
+            return {}
+        reg = metrics_core.registry()
+        out: dict = {}
+        for tier, name in (
+            ("warm", "placement_warm_seconds"),
+            ("cold", "placement_cold_seconds"),
+        ):
+            hist = reg.get(name)
+            if hist is None or hist.count == 0:  # type: ignore[union-attr]
+                continue
+            out[tier] = {
+                "count": hist.count,  # type: ignore[union-attr]
+                "p50_s": hist.quantile(0.5),  # type: ignore[union-attr]
+                "p95_s": hist.quantile(0.95),  # type: ignore[union-attr]
+                "p99_s": hist.quantile(0.99),  # type: ignore[union-attr]
+            }
+        return out
 
     # -- fault state --------------------------------------------------------
 
@@ -299,6 +392,10 @@ class PlacementService:
             self._failed.add(p)
         self._epoch += 1
         bump_stat("service_fault")
+        if metrics_core.is_enabled():
+            metrics_core.registry().counter(
+                "placement_faults_total", "fail()/drain() events"
+            ).inc()
 
     def drain(self, *pus: int) -> None:
         """Mark PUs as administratively drained (cumulative; idempotent)."""
@@ -306,6 +403,10 @@ class PlacementService:
             self._drained.add(p)
         self._epoch += 1
         bump_stat("service_fault")
+        if metrics_core.is_enabled():
+            metrics_core.registry().counter(
+                "placement_faults_total", "fail()/drain() events"
+            ).inc()
 
     def restore(self, *pus: int) -> None:
         """Return PUs to service (inverse of fail/drain)."""
@@ -355,6 +456,7 @@ class PlacementService:
         """
         t0 = time.perf_counter()
         bump_stat("service_query")
+        self._queries_served += 1
         resolved = self._resolve_mode(mode)
         key = self._key(matrix, resolved)
         hit = self._memo.get(key)
@@ -374,6 +476,8 @@ class PlacementService:
                 cached=True,
             )
             self._activate(matrix, decision)
+            if metrics_core.is_enabled():
+                self._metric_query(decision.latency_s, warm=True)
             return decision
 
         failed_t, drained_t = self.failed, self.drained
@@ -428,6 +532,8 @@ class PlacementService:
         while len(self._memo) > self._memo_cap:
             self._memo.popitem(last=False)
         self._activate(matrix, decision)
+        if metrics_core.is_enabled():
+            self._metric_query(decision.latency_s, warm=False)
         return decision
 
     async def query(self, matrix: CommMatrix, *, mode: str = "auto") -> Decision:
@@ -445,6 +551,11 @@ class PlacementService:
         existing = self._inflight.get(key)
         if existing is not None:
             bump_stat("service_single_flight")
+            if metrics_core.is_enabled():
+                metrics_core.registry().counter(
+                    "placement_single_flight_waits_total",
+                    "Queries that awaited an identical in-flight computation",
+                ).inc()
             return await asyncio.shield(existing)
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
@@ -453,6 +564,7 @@ class PlacementService:
                 None, partial(self.query_sync, matrix, mode=mode)
             )
         except BaseException as exc:
+            self.record_error(exc)
             if not future.cancelled():
                 future.set_exception(exc)
                 future.exception()  # mark retrieved: waiters re-raise below
@@ -524,6 +636,11 @@ class PlacementService:
             return None
         assert self._sketch is not None
         bump_stat("service_phase_replace")
+        if metrics_core.is_enabled():
+            metrics_core.registry().counter(
+                "placement_phase_replacements_total",
+                "Re-placements triggered by phase drift",
+            ).inc()
         self._epoch += 1
         return self.query_sync(self._sketch.matrix())
 

@@ -19,9 +19,12 @@ simulated time (see DESIGN.md §1).
 from __future__ import annotations
 
 import enum
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 import numpy as np
+
+from repro.metrics import core as _metrics_core
 
 from repro.simulate.contention import ContentionConfig, ContentionModel
 from repro.simulate.engine import ENGINE_MODES, Engine, SimEvent, SimulationError
@@ -285,6 +288,10 @@ class Machine:
         else:
             self.timeline = None
         self.tracer: Optional["Tracer"] = None
+        if _metrics_core.is_enabled():
+            from repro.metrics.bridge import cohort_sink
+
+            self.engine.metrics_sink = cohort_sink()
         if tracer is not None:
             self.attach_tracer(tracer)
         if new_machine_hook is not None:
@@ -301,6 +308,12 @@ class Machine:
             raise SimulationError("cannot attach a tracer after run() started")
         self.tracer = tracer
         self.engine.probe = tracer.on_engine_step
+        if _metrics_core.is_enabled():
+            # Bridge ORWL waits/grants/transfers into metrics off the
+            # trace stream — never double-instrument the runtime.
+            from repro.metrics.bridge import attach_probe
+
+            attach_probe(tracer)
 
         def sched_probe(kind: str, src: int, dst: int) -> None:
             tracer.emit(
@@ -408,7 +421,13 @@ class Machine:
                 self._trace("thread_start", t, 0.0,
                             detail="bound" if t.is_bound else "unbound")
             self.engine.schedule(0.0, t.resume_cb)
+        flush_metrics = _metrics_core.is_enabled()
+        wall_t0 = perf_counter() if flush_metrics else 0.0
         self.engine.run(max_events=max_events)
+        if flush_metrics:
+            from repro.metrics.bridge import record_run
+
+            record_run(self, perf_counter() - wall_t0)
         stuck = [t for t in self._threads if t.state is not ThreadState.DONE]
         if stuck:
             names = ", ".join(f"{t.tid}:{t.name}({t.state.value})" for t in stuck[:10])

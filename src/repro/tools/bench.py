@@ -577,7 +577,66 @@ def compare_reports(
     return passed, failed
 
 
+def _cmd_history(argv: list[str]) -> int:
+    """``bench history``: the perf trajectory across accumulated reports.
+
+    Ingests every ``BENCH_*.json`` in a directory plus the committed
+    ``benchmarks/baseline_ci.json``, orders them by timestamp, and
+    renders per-headline trajectories with sparklines.  Drift is judged
+    by :mod:`repro.metrics.history`: deterministic stats rows against
+    the oldest run's CI band, wall-clock headlines by half-split
+    medians + Cliff's delta.  Exits 1 when any headline drifts (CI can
+    gate on it) unless ``--no-check``.
+    """
+    from repro.metrics.history import (
+        history_report,
+        load_reports,
+        render_history,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.bench history",
+        description="perf-trajectory regression tracking",
+    )
+    parser.add_argument("reports", nargs="*", metavar="BENCH.json",
+                        help="explicit report files (default: glob "
+                             "BENCH_*.json under --dir)")
+    parser.add_argument("--dir", default=".",
+                        help="directory to glob BENCH_*.json from "
+                             "(default: .)")
+    parser.add_argument("--baseline", default="benchmarks/baseline_ci.json",
+                        help="committed baseline report to prepend "
+                             "(default: benchmarks/baseline_ci.json)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative drift tolerance (default 0.25)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full history report as JSON")
+    parser.add_argument("--no-check", action="store_true",
+                        help="report only; exit 0 even on drift")
+    args = parser.parse_args(argv)
+
+    reports = load_reports(
+        args.reports or None, directory=args.dir, baseline=args.baseline
+    )
+    if not reports:
+        print("[bench history] no reports found "
+              f"(dir={args.dir!r}, baseline={args.baseline!r})")
+        return 0 if args.no_check else 1
+    result = history_report(reports, threshold=args.threshold)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+    else:
+        print(render_history(result))
+    if not result["ok"] and not args.no_check:
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "history":
+        return _cmd_history(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.tools.bench", description=__doc__.splitlines()[0]
     )

@@ -44,9 +44,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace every point and write per-point perf "
                              "reports (JSON + text) and per-core-count "
                              "top-down gap attributions into DIR")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="enable telemetry and publish live registry "
+                             "snapshots to FILE (watch with "
+                             "python -m repro.tools.top FILE)")
     add_cache_arguments(parser)
     args = parser.parse_args(argv)
     apply_cache_arguments(args)
+
+    runner = None
+    writer = None
+    if args.metrics:
+        from repro.exec.runner import SweepRunner
+        from repro.metrics import core as metrics_core
+        from repro.metrics.bus import SnapshotWriter
+
+        metrics_core.enable()
+        writer = SnapshotWriter(args.metrics)
+        runner = SweepRunner(n_workers=args.workers, on_event=writer)
 
     result = run_fig1(
         core_counts=tuple(args.cores),
@@ -54,10 +69,14 @@ def main(argv: list[str] | None = None) -> int:
         n=args.n,
         seed=args.seed,
         n_workers=args.workers,
+        runner=runner,
         seeds=args.seeds,
         perf_report=args.perf_report is not None,
         engine_mode=args.engine_mode,
     )
+    if writer is not None:
+        writer.flush()
+        print(f"\nmetrics snapshot written to {args.metrics}")
     print(result.table())
     if args.seeds > 1:
         print()

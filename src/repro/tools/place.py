@@ -94,42 +94,96 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def serve_request(
+    service: PlacementService, topo, base_matrix: CommMatrix, line: str
+) -> dict:
+    """Answer one ``serve`` request line (shared by the loop and tests).
+
+    Ops: ``query`` / ``fail`` / ``drain`` / ``restore`` / ``stats`` /
+    ``health`` (liveness: uptime, queries served, last error) /
+    ``metrics`` (the registry snapshot, plus derived SLO lines).
+    """
+    try:
+        request = json.loads(line)
+        op = request.get("op", "query")
+        if op == "query":
+            matrix = base_matrix
+            if "matrix" in request:
+                matrix = CommMatrix(request["matrix"], symmetrize=True)
+            decision = service.query_sync(
+                matrix, mode=request.get("mode", "auto")
+            )
+            return _decision_dict(decision, topo, matrix)
+        if op in ("fail", "drain", "restore"):
+            getattr(service, op)(*request.get("pus", []))
+            return {"ok": True, "epoch": service.epoch}
+        if op == "stats":
+            return service.stats()
+        if op == "health":
+            return service.health()
+        if op == "metrics":
+            from repro.metrics import core as metrics_core
+
+            return {
+                "enabled": metrics_core.is_enabled(),
+                "slo": service.slo(),
+                **metrics_core.registry().snapshot(),
+            }
+        return {"error": f"unknown op {op!r}"}
+    except Exception as exc:  # a bad request must not kill the server
+        service.record_error(exc)
+        return {"error": str(exc)}
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """One JSON request per stdin line; one JSON decision per stdout line.
 
     Requests: ``{"op": "query", "mode": "auto"}`` (the matrix is the
     one the server was started with, unless the request carries
     ``"matrix": [[...]]`` inline), ``{"op": "fail", "pus": [4, 8]}``,
-    ``"drain"``, ``"restore"``, ``{"op": "stats"}``.
+    ``"drain"``, ``"restore"``, ``{"op": "stats"}``, ``{"op":
+    "health"}``, ``{"op": "metrics"}``.
+
+    Metric collection is switched on for the lifetime of the server (a
+    service with no live counters has no health story).  ``--http
+    PORT`` additionally serves Prometheus ``/metrics`` and JSON
+    ``/healthz`` over HTTP (port 0 = OS-assigned, printed on stderr).
+
+    Exits cleanly (code 0) on EOF, a closed stdin, a broken stdout
+    pipe, or Ctrl-C — a supervisor restarting the reader must not see a
+    traceback.
     """
+    from repro.metrics import core as metrics_core
+
     base_matrix = _load_matrix(args)
     topo = resolve_topology(args.topology)
+    metrics_core.enable()
     service = PlacementService(topo, strategy=args.strategy)
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-            op = request.get("op", "query")
-            if op == "query":
-                matrix = base_matrix
-                if "matrix" in request:
-                    matrix = CommMatrix(request["matrix"], symmetrize=True)
-                decision = service.query_sync(
-                    matrix, mode=request.get("mode", "auto")
-                )
-                response = _decision_dict(decision, topo, matrix)
-            elif op in ("fail", "drain", "restore"):
-                getattr(service, op)(*request.get("pus", []))
-                response = {"ok": True, "epoch": service.epoch}
-            elif op == "stats":
-                response = service.stats()
-            else:
-                response = {"error": f"unknown op {op!r}"}
-        except Exception as exc:  # a bad request must not kill the server
-            response = {"error": str(exc)}
-        print(json.dumps(response, sort_keys=True), flush=True)
+    httpd = None
+    if args.http is not None:
+        from repro.metrics.httpd import MetricsServer
+
+        httpd = MetricsServer(args.http, health_fn=service.health).start()
+        print(f"[serve] metrics at {httpd.url}/metrics, health at "
+              f"{httpd.url}/healthz", file=sys.stderr, flush=True)
+    try:
+        while True:
+            try:
+                line = sys.stdin.readline()
+            except ValueError:  # stdin closed under us
+                break
+            if not line:  # EOF
+                break
+            line = line.strip()
+            if not line:
+                continue
+            response = serve_request(service, topo, base_matrix, line)
+            print(json.dumps(response, sort_keys=True), flush=True)
+    except (KeyboardInterrupt, BrokenPipeError):
+        pass
+    finally:
+        if httpd is not None:
+            httpd.stop()
     return 0
 
 
@@ -200,6 +254,11 @@ def main(argv: list[str] | None = None) -> int:
 
     s = sub.add_parser("serve", help="line-oriented JSON service on stdin")
     common(s)
+    s.add_argument(
+        "--http", type=int, metavar="PORT", default=None,
+        help="also serve HTTP /metrics + /healthz on PORT (0 = pick a "
+             "free port, printed on stderr)",
+    )
     s.set_defaults(fn=_cmd_serve)
 
     b = sub.add_parser("bench", help="measure decision latency")

@@ -1,0 +1,668 @@
+"""Unit tests for ``repro.metrics``: core, exposition, bridge, surfaces."""
+
+from __future__ import annotations
+
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.metrics import core
+from repro.metrics.bridge import MetricsProbe, cohort_sink
+from repro.metrics.bus import SnapshotWriter, read_snapshot
+from repro.metrics.core import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricRegistry,
+    SIM_TIME_BUCKETS,
+    diff_dumps,
+    exp_buckets,
+    metric_id,
+)
+from repro.metrics.expose import ExpositionError, parse_exposition, render_text
+from repro.metrics.history import (
+    MIN_SERIES,
+    history_report,
+    load_reports,
+    render_history,
+    sparkline,
+)
+from repro.util.validate import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def _clean_metrics(monkeypatch):
+    """Each test gets a fresh global registry and a disabled flag."""
+    monkeypatch.delenv(core.ENV_METRICS, raising=False)
+    core.reset_registry()
+    was = core.is_enabled()
+    core.set_enabled(False)
+    yield
+    core.set_enabled(was)
+    core.reset_registry()
+
+
+# -- buckets & identity ---------------------------------------------------
+
+
+def test_exp_buckets_deterministic_and_increasing():
+    b = exp_buckets(1e-6, 2.0, 26)
+    assert b == LATENCY_BUCKETS
+    assert all(b2 > b1 for b1, b2 in zip(b, b[1:]))
+    # repeated multiplication, not powers: byte-compare a recomputation
+    cur, expect = 1e-9, []
+    for _ in range(41):
+        expect.append(cur)
+        cur *= 2.0
+    assert list(SIM_TIME_BUCKETS) == expect
+
+
+@pytest.mark.parametrize(
+    "kwargs", [dict(start=0.0), dict(factor=1.0), dict(count=0)]
+)
+def test_exp_buckets_rejects_bad_arguments(kwargs):
+    args = {"start": 1.0, "factor": 2.0, "count": 4, **kwargs}
+    with pytest.raises(ValidationError):
+        exp_buckets(**args)
+
+
+def test_metric_id_sorts_labels():
+    assert metric_id("x") == "x"
+    assert metric_id("x", {"b": "2", "a": "1"}) == 'x{a="1",b="2"}'
+
+
+def test_invalid_names_rejected():
+    reg = MetricRegistry()
+    with pytest.raises(ValidationError):
+        reg.counter("0bad")
+    with pytest.raises(ValidationError):
+        reg.counter("ok", labels={"0bad": "v"})
+
+
+# -- counter / gauge / histogram ------------------------------------------
+
+
+def test_counter_monotonic():
+    c = Counter("c_total")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValidationError):
+        c.inc(-1)
+    c.set_to_max(3)  # never moves backward
+    assert c.value == 5
+    c.set_to_max(9)
+    assert c.value == 9
+
+
+def test_gauge_never_stable():
+    g = Gauge("g")
+    g.set(2.5)
+    g.inc()
+    g.dec(0.5)
+    assert g.value == 3.0
+    with pytest.raises(ValidationError):
+        Gauge("g2", stable=True)
+
+
+def test_histogram_buckets_and_quantiles():
+    h = Histogram("h_seconds", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.0, 1.5, 3.0, 100.0):
+        h.observe(v)
+    # bisect_left: v <= bound lands in that bucket
+    assert h.counts == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.sum == pytest.approx(106.0)
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(0.4) == 1.0  # rank 2.0 lands in the first bucket
+    assert h.quantile(0.5) == 2.0  # rank 2.5 spills into the second
+    assert h.quantile(0.9) == float("inf")
+    assert Histogram("e", buckets=(1.0,)).quantile(0.5) == 0.0
+    with pytest.raises(ValidationError):
+        h.quantile(1.5)
+    with pytest.raises(ValidationError):
+        Histogram("bad", buckets=(2.0, 1.0))
+    with pytest.raises(ValidationError):
+        Histogram("bad", buckets=())
+
+
+# -- registry --------------------------------------------------------------
+
+
+def test_registry_get_or_create_and_type_mismatch():
+    reg = MetricRegistry()
+    c1 = reg.counter("a_total", "help", labels={"k": "v"})
+    assert reg.counter("a_total", labels={"k": "v"}) is c1
+    assert reg.counter("a_total") is not c1  # different label set
+    with pytest.raises(ValidationError):
+        reg.gauge("a_total")  # same id, different type
+    assert reg.get("a_total", {"k": "v"}) is c1
+    assert reg.get("missing") is None
+    assert len(reg) == 2
+
+
+def test_registry_iteration_sorted():
+    reg = MetricRegistry()
+    reg.counter("z_total")
+    reg.counter("a_total")
+    assert [m.id for m in reg] == ["a_total", "z_total"]
+
+
+def test_snapshot_stable_filtering():
+    reg = MetricRegistry()
+    reg.counter("live_total").inc(3)
+    reg.counter("zero_total")  # zero activity: dropped
+    reg.counter("wall_total", stable=False).inc(2)  # unstable: dropped
+    reg.gauge("g").set(1.0)  # gauge: dropped
+    h = reg.histogram("h_seconds", buckets=(1.0, 2.0))
+    h.observe(0.5)
+    reg.histogram("h_empty", buckets=(1.0,))  # no observations: dropped
+    snap = reg.snapshot(stable_only=True)
+    assert set(snap["metrics"]) == {"live_total", "h_seconds"}
+    assert "sum" not in snap["metrics"]["h_seconds"]  # float accumulator
+    full = reg.snapshot()
+    assert set(full["metrics"]) == {
+        "live_total", "zero_total", "wall_total", "g", "h_seconds", "h_empty",
+    }
+    assert full["metrics"]["h_seconds"]["sum"] == 0.5
+
+
+def test_to_json_canonical():
+    reg = MetricRegistry()
+    reg.counter("b_total").inc()
+    reg.counter("a_total").inc()
+    text = reg.to_json(stable_only=True)
+    assert text == json.dumps(
+        json.loads(text), sort_keys=True, separators=(",", ":")
+    )
+    assert text.index('"a_total"') < text.index('"b_total"')
+
+
+# -- dump / diff / merge (worker delta shipping) ---------------------------
+
+
+def test_diff_dumps_and_merge_roundtrip():
+    reg = MetricRegistry()
+    reg.counter("c_total").inc(2)
+    h = reg.histogram("h_seconds", buckets=(1.0, 2.0))
+    h.observe(0.5)
+    before = reg.dump()
+    reg.counter("c_total").inc(3)
+    h.observe(5.0)
+    reg.gauge("g").set(7.0)
+    delta = diff_dumps(before, reg.dump())
+    # untouched-at-delta metrics are omitted; changed ones carry deltas
+    assert delta["c_total"]["value"] == 3
+    assert delta["h_seconds"]["counts"] == [0, 0, 1]
+    assert delta["g"]["value"] == 7.0
+
+    other = MetricRegistry()
+    other.counter("c_total").inc(10)
+    other.merge(delta)
+    assert other.counter("c_total").value == 13
+    merged_h = other.get("h_seconds")
+    assert merged_h.counts == [0, 0, 1]
+    assert other.get("g").value == 7.0
+
+
+def test_merge_full_dump_reproduces_registry():
+    reg = MetricRegistry()
+    reg.counter("c_total").inc(4)
+    reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+    clone = MetricRegistry()
+    clone.merge(diff_dumps({}, reg.dump()))
+    assert clone.to_json() == reg.to_json()
+
+
+def test_merge_rejects_bounds_mismatch_and_unknown_type():
+    reg = MetricRegistry()
+    reg.histogram("h_seconds", buckets=(1.0, 2.0))
+    bad = {
+        "h_seconds": {
+            "type": "histogram", "name": "h_seconds", "labels": [],
+            "bounds": [1.0, 3.0], "counts": [0, 0, 1], "count": 1, "sum": 5.0,
+        }
+    }
+    with pytest.raises(ValidationError):
+        reg.merge(bad)
+    with pytest.raises(ValidationError):
+        reg.merge({"x": {"type": "mystery", "name": "x", "labels": []}})
+
+
+def test_stable_snapshot_identical_across_merge_order():
+    def worker_delta(n):
+        reg = MetricRegistry()
+        reg.counter("sim_runs_total").inc(n)
+        reg.histogram("h_seconds", buckets=(1.0, 2.0)).observe(float(n))
+        return diff_dumps({}, reg.dump())
+
+    deltas = [worker_delta(n) for n in (1, 2, 3)]
+    a, b = MetricRegistry(), MetricRegistry()
+    for d in deltas:
+        a.merge(d)
+    for d in reversed(deltas):
+        b.merge(d)
+    assert a.to_json(stable_only=True) == b.to_json(stable_only=True)
+
+
+# -- enablement ------------------------------------------------------------
+
+
+def test_enable_exports_environment(monkeypatch):
+    import os
+
+    core.enable()
+    assert core.is_enabled()
+    assert os.environ[core.ENV_METRICS] == "on"
+    core.disable()
+    assert not core.is_enabled()
+    assert core.ENV_METRICS not in os.environ
+
+
+# -- exposition ------------------------------------------------------------
+
+
+def _demo_registry() -> MetricRegistry:
+    reg = MetricRegistry()
+    reg.counter("req_total", "Requests served").inc(7)
+    reg.counter("err_total", labels={"op": 'we"ird\\'}).inc(1)
+    reg.gauge("temp", "Degrees").set(2.5)
+    h = reg.histogram("lat_seconds", "Latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(10.0)
+    return reg
+
+
+def test_render_text_strict_roundtrip():
+    text = render_text(_demo_registry())
+    parsed = parse_exposition(text)
+    assert parsed["req_total"]["type"] == "counter"
+    assert parsed["req_total"]["help"] == "Requests served"
+    assert ("", {}, 7.0) in parsed["req_total"]["samples"]
+    assert ("", {"op": 'we"ird\\'}, 1.0) in parsed["err_total"]["samples"]
+    assert parsed["temp"]["type"] == "gauge"
+    hist = parsed["lat_seconds"]
+    assert hist["type"] == "histogram"
+    buckets = {
+        lab["le"]: v for s, lab, v in hist["samples"] if s == "_bucket"
+    }
+    assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+    assert ("_count", {}, 3.0) in hist["samples"]
+
+
+def test_render_text_empty_help_has_no_trailing_space():
+    reg = MetricRegistry()
+    reg.counter("bare_total").inc()
+    text = render_text(reg)
+    assert "# HELP bare_total\n" in text
+    parse_exposition(text)  # strict parse must accept it
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        " # HELP x y\n# TYPE x counter\nx 1\n",  # stray leading whitespace
+        "# TYPE x counter\nx 1 2 3\n",  # extra tokens (timestamps rejected)
+        "x 1\n",  # sample without TYPE
+        "# TYPE 0bad counter\n0bad 1\n",  # bad name
+        "# TYPE x counter\nx{le=1} 1\n",  # unquoted label value
+        '# TYPE x counter\nx{le="1} 1\n',  # unterminated label
+        "# TYPE x histogram\nx_bucket 1\n",  # _bucket without le
+        '# TYPE x histogram\nx_bucket{le="1"} 5\n'
+        'x_bucket{le="2"} 3\n',  # non-monotonic cumulative buckets
+        "# TYPE x counter\nx 1\n# TYPE x gauge\n",  # TYPE after samples
+        "# TYPE x counter\nx notanumber\n",
+    ],
+)
+def test_parse_exposition_rejects(bad):
+    with pytest.raises(ExpositionError):
+        parse_exposition(bad)
+
+
+# -- observe bridge --------------------------------------------------------
+
+
+def _trace_event(kind, dur=0.0, nbytes=0.0, thread=""):
+    from repro.observe.tracer import TraceEvent
+
+    return TraceEvent(0, kind, 0.0, dur, 0, thread, -1, -1, "", nbytes, "")
+
+
+def test_metrics_probe_counts_by_kind():
+    reg = MetricRegistry()
+    probe = MetricsProbe(reg)
+    probe(_trace_event("wait", dur=2e-9))
+    probe(_trace_event("grant"))
+    probe(_trace_event("transfer", nbytes=64.0))
+    probe(_trace_event("runq"))
+    probe(_trace_event("migration"))
+    probe(_trace_event("compute"))  # counted as bridged, no dedicated metric
+    assert reg.counter("observe_events_bridged_total").value == 6
+    assert reg.counter("orwl_waits_total").value == 1
+    assert reg.counter("orwl_wakeups_total").value == 1
+    assert reg.counter("orwl_transfer_bytes_total").value == 64
+    assert reg.counter("orwl_runq_total").value == 1
+    assert reg.counter("orwl_migrations_total").value == 1
+    assert reg.get("orwl_wait_sim_seconds").count == 1
+
+
+def test_metrics_probe_filter_spec_roundtrip():
+    """A CLI filter spec restricts the bridge exactly like EventFilter."""
+    from repro.observe.tracer import EventFilter
+
+    spec = "kind=wait|grant,thread=w*"
+    reg = MetricRegistry()
+    probe = MetricsProbe(reg, filter_spec=spec)
+    assert probe.filter == EventFilter.parse(spec)
+    events = [
+        _trace_event("wait", thread="w0"),
+        _trace_event("wait", thread="ctl"),  # thread glob mismatch
+        _trace_event("transfer", thread="w0"),  # kind mismatch
+        _trace_event("grant", thread="w1"),
+    ]
+    for ev in events:
+        probe(ev)
+    expected = sum(1 for ev in events if EventFilter.parse(spec)(ev))
+    assert reg.counter("observe_events_bridged_total").value == expected == 2
+    assert reg.counter("orwl_transfers_total").value == 0
+
+
+def test_cohort_sink_observes_sizes():
+    reg = MetricRegistry()
+    sink = cohort_sink(reg)
+    sink(1)
+    sink(192)
+    hist = reg.get("engine_cohort_size")
+    assert hist.count == 2
+    assert hist.stable is False
+
+
+# -- snapshot bus ----------------------------------------------------------
+
+
+def test_snapshot_writer_atomic_and_progress(tmp_path):
+    from repro.exec.progress import SweepEvent
+
+    path = tmp_path / "live.json"
+    reg = MetricRegistry()
+    reg.counter("sim_runs_total").inc(3)
+    writer = SnapshotWriter(str(path), registry=reg, min_interval=0.0)
+    writer(SweepEvent("sweep_start", 0.0, total=10))
+    writer(SweepEvent("point_done", 0.1, index=0, done=1, total=10,
+                      detail="cached"))
+    writer(SweepEvent("point_done", 0.2, index=1, done=2, total=10))
+    snap = read_snapshot(str(path))
+    m = snap["metrics"]
+    assert m["sweep_progress_total"]["value"] == 10.0
+    assert m["sweep_progress_done"]["value"] == 2.0
+    assert m["sweep_progress_cached"]["value"] == 1.0
+    assert m["sim_runs_total"]["value"] == 3
+    assert snap["written_at"] > 0
+
+
+def test_snapshot_writer_rate_limit_and_forced_end(tmp_path):
+    from repro.exec.progress import SweepEvent
+
+    path = tmp_path / "live.json"
+    writer = SnapshotWriter(
+        str(path), registry=MetricRegistry(), min_interval=3600.0
+    )
+    writer(SweepEvent("sweep_start", 0.0, total=4))
+    writer(SweepEvent("point_done", 0.1, done=1, total=4))
+    assert writer.writes == 1  # second call rate-limited
+    writer(SweepEvent("sweep_end", 0.2, done=4, total=4))
+    assert writer.writes == 2  # sweep_end always flushes
+    writer()
+    assert writer.writes == 3  # explicit flush always writes
+
+
+def test_read_snapshot_tolerates_torn_and_missing(tmp_path):
+    assert read_snapshot(str(tmp_path / "nope.json")) is None
+    torn = tmp_path / "torn.json"
+    torn.write_text('{"metrics": {"a"')
+    assert read_snapshot(str(torn)) is None
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text('{"something": "else"}')
+    assert read_snapshot(str(wrong)) is None
+
+
+# -- top dashboard ---------------------------------------------------------
+
+
+def test_top_render_dashboard_demo():
+    from repro.tools.top import demo_snapshot, render_dashboard
+
+    frame = render_dashboard(demo_snapshot())
+    assert "28/40 done (9 cached)" in frame
+    assert "p50" in frame and "p95" in frame and "p99" in frame
+    assert "events" in frame
+
+
+def test_top_rates_from_prev_snapshot():
+    from repro.tools.top import render_dashboard
+
+    def snap(queries, at):
+        reg = MetricRegistry()
+        reg.counter("placement_queries_total").inc(queries)
+        reg.counter("placement_memo_hits_total").inc(queries)
+        s = reg.snapshot()
+        s["written_at"] = at
+        return s
+
+    frame = render_dashboard(snap(300, 10.0), prev=snap(100, 8.0))
+    assert "100 q/s" in frame
+
+
+# -- progress bar ----------------------------------------------------------
+
+
+def test_progress_bar_cached_aware_eta():
+    from repro.exec.progress import ProgressBar, SweepEvent
+
+    buf = io.StringIO()
+    bar = ProgressBar(stream=buf, width=10)
+    bar(SweepEvent("sweep_start", 0.0, total=40))
+    for i in range(1, 6):  # five cache hits, effectively instant
+        bar(SweepEvent("point_done", 0.0, done=i, total=40, detail="cached"))
+    for i in range(6, 13):  # seven simulated points, 6 s elapsed
+        bar(SweepEvent("point_done", (i - 5) * 6.0 / 7, done=i, total=40))
+    line = bar.render(SweepEvent("point_done", 6.0, done=12, total=40))
+    assert "12/40 done (5 cached)" in line
+    # ETA from simulated cost only: 6s / 7 simulated × 28 left = 24s,
+    # NOT 6s / 12 done × 28 = 14s (cache hits must not shrink the ETA).
+    assert "eta 24s" in line
+    bar(SweepEvent("sweep_end", 30.0, done=40, total=40))
+    out = buf.getvalue()
+    assert out.endswith("\n")
+    assert "40/40 done" in out
+
+
+def test_progress_bar_resets_between_sweeps():
+    from repro.exec.progress import ProgressBar, SweepEvent
+
+    bar = ProgressBar(stream=io.StringIO())
+    bar(SweepEvent("point_done", 1.0, done=1, total=2, detail="cached"))
+    assert bar.cached == 1
+    bar(SweepEvent("sweep_start", 0.0, total=2))
+    assert bar.cached == 0
+
+
+# -- history ---------------------------------------------------------------
+
+
+def _bench_report(stamp, warm_p50, mean=1.0, ci_hi=1.2):
+    return {
+        "meta": {"timestamp": stamp},
+        "placement_service": {"warm_p50_s": warm_p50},
+        "fig1": {
+            "speedup": 2.0,
+            "stats": [
+                {"implementation": "openmp", "cores": 8,
+                 "mean": mean, "ci_lo": 0.9, "ci_hi": ci_hi},
+            ],
+        },
+    }
+
+
+def test_history_single_report_is_green(tmp_path):
+    p = tmp_path / "BENCH_a.json"
+    p.write_text(json.dumps(_bench_report("2026-01-01T00:00:00", 1e-4)))
+    reports = load_reports(directory=str(tmp_path), baseline=None)
+    assert len(reports) == 1
+    result = history_report(reports)
+    assert result["ok"]
+    assert all(h["verdict"] == "ok" for h in result["headlines"])
+    assert "trajectory green" in render_history(result)
+
+
+def test_history_flags_latency_drift(tmp_path):
+    """A 30% warm-p50 inflation in the newer half must be flagged."""
+    for i in range(8):
+        warm = 1e-4 if i < 4 else 1.3e-4  # +30% > 25% threshold
+        p = tmp_path / f"BENCH_{i}.json"
+        p.write_text(
+            json.dumps(_bench_report(f"2026-01-0{i + 1}T00:00:00", warm))
+        )
+    reports = load_reports(directory=str(tmp_path), baseline=None)
+    result = history_report(reports, threshold=0.25)
+    assert not result["ok"]
+    drifted = {
+        f"{h['section']}.{h['metric']}"
+        for h in result["headlines"]
+        if h["verdict"] == "drift"
+    }
+    assert drifted == {"placement_service.warm_p50_s"}
+    assert any("warm_p50_s" in d for d in result["drifts"])
+
+
+def test_history_noise_without_effect_is_green(tmp_path):
+    # alternating values: big relative medians stay flat, delta ~ 0
+    for i, warm in enumerate([1e-4, 1.3e-4] * 4):
+        p = tmp_path / f"BENCH_{i}.json"
+        p.write_text(
+            json.dumps(_bench_report(f"2026-01-0{i + 1}T00:00:00", warm))
+        )
+    reports = load_reports(directory=str(tmp_path), baseline=None)
+    assert history_report(reports, threshold=0.25)["ok"]
+
+
+def test_history_stats_rows_ci_band_gate(tmp_path):
+    rows = [
+        _bench_report("2026-01-01T00:00:00", 1e-4, mean=1.0, ci_hi=1.1),
+        _bench_report("2026-01-02T00:00:00", 1e-4, mean=1.5, ci_hi=1.6),
+    ]
+    for i, r in enumerate(rows):
+        (tmp_path / f"BENCH_{i}.json").write_text(json.dumps(r))
+    reports = load_reports(directory=str(tmp_path), baseline=None)
+    result = history_report(reports, threshold=0.25)
+    row = next(r for r in result["stats_rows"] if r["key"] == "fig1 openmp@8")
+    # 1.5 > 1.1 × 1.25 = 1.375 → drift against the oldest CI band
+    assert row["verdict"] == "drift"
+    assert not result["ok"]
+
+
+def test_load_reports_skips_garbage(tmp_path):
+    (tmp_path / "BENCH_bad.json").write_text("{truncated")
+    (tmp_path / "BENCH_nometa.json").write_text('{"fig1": {}}')
+    good = tmp_path / "BENCH_ok.json"
+    good.write_text(json.dumps(_bench_report("2026-01-01T00:00:00", 1e-4)))
+    reports = load_reports(directory=str(tmp_path), baseline=None)
+    assert [r["meta"]["_source"] for r in reports] == [str(good)]
+    assert MIN_SERIES >= 2
+
+
+def test_sparkline_shapes():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0]) == "▁▁"
+    line = sparkline([0.0, 0.5, 1.0])
+    assert line[0] == "▁" and line[-1] == "█"
+    assert len(sparkline(list(range(100)), width=24)) == 24
+
+
+# -- place serve verbs -----------------------------------------------------
+
+
+@pytest.fixture
+def _serve_parts(paper_topo_small):
+    from repro.comm import patterns
+    from repro.placement.service import PlacementService
+
+    matrix = patterns.stencil_2d(4, 4, edge_volume=100.0)
+    service = PlacementService(paper_topo_small)
+    return service, paper_topo_small, matrix
+
+
+def test_serve_health_verb(_serve_parts):
+    from repro.tools.place import serve_request
+
+    service, topo, matrix = _serve_parts
+    service.query_sync(matrix)
+    health = serve_request(service, topo, matrix, '{"op": "health"}')
+    assert health["status"] == "ok"
+    assert health["queries_served"] == 1
+    assert health["uptime_s"] >= 0.0
+    assert health["last_error"] is None
+
+    bad = serve_request(service, topo, matrix, '{"op": "query", "mode": "bogus"}')
+    assert "error" in bad
+    degraded = serve_request(service, topo, matrix, '{"op": "health"}')
+    assert degraded["status"] == "degraded"
+    assert degraded["last_error"] and degraded["last_error_age_s"] >= 0.0
+
+
+def test_serve_metrics_verb(_serve_parts):
+    from repro.tools.place import serve_request
+
+    core.enable()
+    service, topo, matrix = _serve_parts
+    service.query_sync(matrix)
+    service.query_sync(matrix)
+    out = serve_request(service, topo, matrix, '{"op": "metrics"}')
+    assert out["enabled"] is True
+    assert out["metrics"]["placement_queries_total"]["value"] == 2
+    assert out["slo"]["warm"]["count"] == 1
+    assert out["slo"]["warm"]["p50_s"] > 0.0
+    # line-JSON contract: the response must be one json.dumps-able dict
+    json.dumps(out)
+
+
+def test_serve_malformed_request_keeps_server_alive(_serve_parts):
+    from repro.tools.place import serve_request
+
+    service, topo, matrix = _serve_parts
+    out = serve_request(service, topo, matrix, "not json at all")
+    assert "error" in out
+    out = serve_request(service, topo, matrix, '{"op": "mystery"}')
+    assert out == {"error": "unknown op 'mystery'"}
+    assert serve_request(service, topo, matrix, '{"op": "query"}')["mapping"]
+
+
+# -- HTTP endpoint ---------------------------------------------------------
+
+
+def test_metrics_http_server():
+    from repro.metrics.httpd import MetricsServer
+
+    reg = MetricRegistry()
+    reg.counter("req_total", "Requests").inc(5)
+    health = {"status": "ok", "queries_served": 5}
+    with MetricsServer(0, registry=reg, health_fn=lambda: health) as srv:
+        with urllib.request.urlopen(f"{srv.url}/metrics") as resp:
+            assert resp.status == 200
+            assert "version=0.0.4" in resp.headers["Content-Type"]
+            body = resp.read().decode()
+        parsed = parse_exposition(body)
+        assert ("", {}, 5.0) in parsed["req_total"]["samples"]
+        with urllib.request.urlopen(f"{srv.url}/healthz") as resp:
+            assert json.loads(resp.read()) == health
+        health["status"] = "degraded"
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{srv.url}/healthz")
+        assert err.value.code == 503
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{srv.url}/other")
+        assert err.value.code == 404
